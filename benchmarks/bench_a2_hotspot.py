@@ -1,0 +1,18 @@
+"""A2: forced concentration of hot files on one home node.
+
+Paper, Section 5: "It would be interesting to observe [the middleware's]
+performance under a forced concentration of hot files on a single node."
+We re-home the hottest 5% of files onto node 0's disk.  Expectation: the
+damage is limited because after warm-up the hot *blocks* live in cluster
+memory (diffused by RR DNS), so node 0's disk only matters for misses.
+"""
+
+from repro.experiments.ablations import a2_hotspot, render_a2
+
+
+def test_bench_a2(benchmark, artifact):
+    data = benchmark.pedantic(a2_hotspot, rounds=1, iterations=1)
+    # Concentration never helps, and the cache layer absorbs most of it.
+    assert data["ratio"] <= 1.1
+    assert data["ratio"] >= 0.4
+    artifact("a2_hotspot", render_a2(data), data)

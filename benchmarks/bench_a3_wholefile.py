@@ -1,0 +1,19 @@
+"""A3: whole-file adaptation of the middleware vs block granularity.
+
+Paper, Section 6: "we will investigate whether [the layer] can easily be
+adapted for servers that always use whole files (e.g., a web server) and
+whether such an adaptation would improve performance."
+"""
+
+from repro.experiments.ablations import a3_wholefile, render_a3
+
+
+def test_bench_a3(benchmark, artifact):
+    data = benchmark.pedantic(a3_wholefile, rounds=1, iterations=1)
+    for p in data["points"]:
+        # Both implementations are functional and comparable (within 4x
+        # of each other at every memory point).
+        assert p["wholefile_rps"] > 0.25 * p["block_rps"]
+        assert p["wholefile_rps"] < 4.0 * p["block_rps"]
+        assert 0.0 <= p["wholefile_hit"] <= 1.0
+    artifact("a3_wholefile", render_a3(data), data)

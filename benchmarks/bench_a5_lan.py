@@ -1,0 +1,21 @@
+"""A5: LAN speed sensitivity.
+
+Paper, Sections 5-6: the KMC trade ("increases network communication to
+reduce disk accesses") is "reasonable considering the current trend of
+relative performance between LANs and disks", and future work is to
+study "the effects of different hardware configurations".  Sweep the LAN
+from 100 Mb/s to 10 Gb/s and watch the CC/PRESS ratio.
+"""
+
+from repro.experiments.ablations import a5_lan, render_a5
+
+
+def test_bench_a5(benchmark, artifact):
+    data = benchmark.pedantic(a5_lan, rounds=1, iterations=1)
+    by = {p["config"]: p for p in data["points"]}
+    # The middleware is viable at every LAN speed here (remote hits are
+    # latency- not bandwidth-bound at these request sizes)...
+    assert by["lan-1gb"]["ratio"] > 0.5
+    # ...and a faster LAN never makes the CC-vs-PRESS ratio much worse.
+    assert by["lan-10gb"]["ratio"] >= by["lan-100mb"]["ratio"] - 0.15
+    artifact("a5_lan", render_a5(data), data)

@@ -1,0 +1,22 @@
+"""A6: replacement-policy component ablation.
+
+Separates the two ingredients of the paper's replacement story: the KMC
+victim rule (never evict a master while a replica is resident) and the
+traditional second-chance forwarding of evicted masters.
+"""
+
+from repro.experiments.ablations import a6_replacement, render_a6
+
+
+def test_bench_a6(benchmark, artifact):
+    data = benchmark.pedantic(a6_replacement, rounds=1, iterations=1)
+    by = {(p["policy"], p["forward"]): p for p in data["points"]}
+    # The KMC rule is the big lever (paper's "dramatic increase").
+    assert (
+        by[("kmc", True)]["throughput_rps"]
+        > 1.15 * by[("basic", True)]["throughput_rps"]
+    )
+    # Forwarding happens only when enabled.
+    assert by[("kmc", False)]["forwards"] == 0
+    assert by[("kmc", True)]["forwards"] > 0
+    artifact("a6_replacement", render_a6(data), data)

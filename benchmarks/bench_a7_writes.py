@@ -1,0 +1,25 @@
+"""A7: read/write workloads through the write-protocol extension.
+
+Paper, Section 6: "we plan to investigate how to support writes as well
+as reads in [the middleware]."  We make a fraction of requests
+whole-file writes (write-invalidate, single-writer) and compare
+write-back against write-through.
+"""
+
+from repro.experiments.ablations import a7_writes, render_a7
+
+
+def test_bench_a7(benchmark, artifact):
+    data = benchmark.pedantic(a7_writes, rounds=1, iterations=1)
+    by_ratio = {p["write_ratio"]: p for p in data["points"]}
+    # Read-only workloads never flush or invalidate.
+    assert by_ratio[0.0]["back_flushes"] == 0
+    assert by_ratio[0.0]["back_invalidations"] == 0
+    # Writes cost throughput, more so at higher ratios...
+    assert by_ratio[0.3]["back_rps"] <= by_ratio[0.0]["back_rps"] * 1.05
+    # ...and write-through pays at least as many flushes as write-back.
+    for ratio in (0.1, 0.3):
+        p = by_ratio[ratio]
+        assert p["through_flushes"] >= p["back_flushes"]
+        assert p["back_invalidations"] > 0
+    artifact("a7_writes", render_a7(data), data)

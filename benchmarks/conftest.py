@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure (or one ablation),
+prints the same rows/series the paper reports, and archives the rendered
+output under ``benchmarks/results/`` so EXPERIMENTS.md can cite it.
+
+Workload scale is controlled by the environment (see
+``repro.experiments.defaults``): default is SCALE=0.02 with 10k-request
+traces; ``REPRO_FULL=1`` runs paper-size workloads (slow).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Benchmarks use a trimmed memory axis (full 8-point sweeps belong to
+#: interactive use); these are the paper's 4-512 MB endpoints + midpoints.
+BENCH_MEMORY_MB = [4, 16, 64, 256]
+
+
+@pytest.fixture
+def artifact(request, capsys):
+    """Save + display a rendered experiment table.
+
+    Usage::
+
+        def test_bench_fig4(benchmark, artifact):
+            data = benchmark.pedantic(fig4, rounds=1, iterations=1)
+            artifact("fig4", render_fig4(data))
+    """
+
+    def save(name: str, text: str, data=None) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        if data is not None:
+            import json
+
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, default=float) + "\n"
+            )
+        # Emit through pytest's terminal (shown with -s or on failure).
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to {path}]")
+
+    return save
+
+
+def bench_memories():
+    """The benchmark memory axis at the active scale."""
+    from repro.experiments.defaults import memory_points_mb
+
+    return memory_points_mb(BENCH_MEMORY_MB)

@@ -1,0 +1,31 @@
+"""CoCa: cooperative caching middleware for cluster-based servers.
+
+A complete reproduction of Cuenca-Acuna & Nguyen, *Cooperative Caching
+Middleware for Cluster-Based Servers* (HPDC 2001): the event-driven
+cluster simulator, the block-based cooperative caching middleware and
+its evaluated variants, the PRESS-like locality-conscious baseline, the
+workload infrastructure, and a harness reproducing every table and
+figure in the paper.
+
+Entry points:
+
+* :class:`repro.core.CoopCacheService` — the middleware as a library.
+* :func:`repro.experiments.run_experiment` — one (system, trace,
+  cluster, memory) simulation point.
+* :mod:`repro.experiments.figures` / ``tables`` / ``ablations`` — the
+  paper's artifacts.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from .params import DEFAULT_PARAMS, HARDWARE_CONFIGS, SimParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimParams",
+    "DEFAULT_PARAMS",
+    "HARDWARE_CONFIGS",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Timing-free cache simulators (system S11 in DESIGN.md)."""
+
+from .cachesim import AnalyticCoopCache, AnalyticPress
+
+__all__ = ["AnalyticCoopCache", "AnalyticPress"]

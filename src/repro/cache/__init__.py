@@ -1,0 +1,24 @@
+"""Block caching substrate (system S4 in DESIGN.md).
+
+* :class:`~repro.cache.block.BlockId` / :class:`~repro.cache.block.FileLayout`
+  — block identity and file geometry.
+* :class:`~repro.cache.lru.AgedLRU` — age-ordered block set.
+* :class:`~repro.cache.blockcache.BlockCache` — one node's memory.
+* :class:`~repro.cache.directory.GlobalDirectory` — master-block location.
+* :class:`~repro.cache.directory.HomeMap` — file-to-disk placement.
+"""
+
+from .block import BlockId, FileLayout
+from .blockcache import BlockCache, CacheFullError
+from .directory import GlobalDirectory, HomeMap
+from .lru import AgedLRU
+
+__all__ = [
+    "BlockId",
+    "FileLayout",
+    "AgedLRU",
+    "BlockCache",
+    "CacheFullError",
+    "GlobalDirectory",
+    "HomeMap",
+]

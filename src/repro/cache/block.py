@@ -1,0 +1,89 @@
+"""Block identity and file layout arithmetic.
+
+The middleware caches fixed-size blocks (8 KB) of files laid out in 64 KB
+extents.  A :class:`BlockId` names one block; :class:`FileLayout` answers
+the geometry questions every component asks (how many blocks, which
+extent a block lives in, how many KB a given block actually holds — the
+last block of a file is usually partial).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence
+
+from ..params import SimParams
+
+__all__ = ["BlockId", "FileLayout"]
+
+
+class BlockId(NamedTuple):
+    """One cache block: block ``index`` of file ``file_id`` (both 0-based)."""
+
+    file_id: int
+    index: int
+
+
+class FileLayout:
+    """Geometry of a file set under a given parameterization.
+
+    Built once per simulation from the trace's per-file sizes (KB); every
+    query is O(1).
+    """
+
+    __slots__ = ("params", "_sizes_kb", "_blocks_per_extent")
+
+    def __init__(self, sizes_kb: Sequence[float], params: SimParams):
+        for i, s in enumerate(sizes_kb):
+            if s <= 0:
+                raise ValueError(f"file {i} has non-positive size {s!r}")
+        self.params = params
+        self._sizes_kb: List[float] = list(sizes_kb)
+        self._blocks_per_extent = params.extent_kb // params.block_kb
+
+    # -- file-level queries ---------------------------------------------------
+    @property
+    def num_files(self) -> int:
+        """Number of files in the set."""
+        return len(self._sizes_kb)
+
+    def size_kb(self, file_id: int) -> float:
+        """Size of ``file_id`` in KB."""
+        return self._sizes_kb[file_id]
+
+    def num_blocks(self, file_id: int) -> int:
+        """Blocks needed to cache ``file_id``."""
+        return self.params.blocks_of(self._sizes_kb[file_id])
+
+    def num_extents(self, file_id: int) -> int:
+        """Extents ``file_id`` spans on disk."""
+        return self.params.extents_of(self._sizes_kb[file_id])
+
+    def total_blocks(self) -> int:
+        """Blocks needed to cache the entire file set (the theoretical
+        aggregate-memory requirement Figure 1 discusses)."""
+        return sum(self.num_blocks(f) for f in range(self.num_files))
+
+    def total_size_kb(self) -> float:
+        """File-set size in KB (paper Table 2 last column)."""
+        return sum(self._sizes_kb)
+
+    # -- block-level queries ----------------------------------------------------
+    def blocks(self, file_id: int) -> Iterator[BlockId]:
+        """All blocks of ``file_id`` in order."""
+        for i in range(self.num_blocks(file_id)):
+            yield BlockId(file_id, i)
+
+    def block_size_kb(self, block: BlockId) -> float:
+        """KB of data in ``block`` (the final block may be partial)."""
+        full = self.params.block_kb
+        nblocks = self.num_blocks(block.file_id)
+        if not 0 <= block.index < nblocks:
+            raise IndexError(f"{block} out of range for file of {nblocks} blocks")
+        if block.index < nblocks - 1:
+            return float(full)
+        rem = self._sizes_kb[block.file_id] - (nblocks - 1) * full
+        return float(rem if rem > 0 else full)
+
+    def extent_of(self, block: BlockId) -> int:
+        """Extent index containing ``block``."""
+        return block.index // self._blocks_per_extent

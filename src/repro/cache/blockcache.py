@@ -1,0 +1,181 @@
+"""Per-node block cache with master / non-master segregation.
+
+A node's memory holds up to ``capacity_blocks`` blocks.  Master copies
+(the cluster's canonical in-memory copy of a block) and non-master copies
+(local replicas made on remote hits) live in separate age-ordered sets so
+replacement policies can ask for "the oldest block overall" (CC-Basic's
+global-LRU victim) or "the oldest non-master" (CC-KMC's preferred victim)
+in O(log n).
+
+The cache is a passive data structure: *deciding* what to do with a
+victim (drop vs forward to a peer) is the middleware's job in
+:mod:`repro.core.middleware`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .block import BlockId
+from .lru import AgedLRU
+
+__all__ = ["BlockCache", "CacheFullError"]
+
+
+class CacheFullError(RuntimeError):
+    """Raised on insert into a full cache (the caller must evict first)."""
+
+
+class BlockCache:
+    """Fixed-capacity block store for one node."""
+
+    __slots__ = ("node_id", "capacity_blocks", "_masters", "_nonmasters",
+                 "_dirty")
+
+    def __init__(self, node_id: int, capacity_blocks: int):
+        if capacity_blocks < 1:
+            raise ValueError("capacity must be at least one block")
+        self.node_id = node_id
+        self.capacity_blocks = capacity_blocks
+        self._masters = AgedLRU()
+        self._nonmasters = AgedLRU()
+        # Masters holding unwritten-back modifications (write extension).
+        self._dirty: set = set()
+
+    # -- size -----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._masters) + len(self._nonmasters)
+
+    def __contains__(self, block: BlockId) -> bool:
+        return block in self._masters or block in self._nonmasters
+
+    @property
+    def is_full(self) -> bool:
+        """True when an insert would require an eviction first."""
+        return len(self) >= self.capacity_blocks
+
+    @property
+    def free_slots(self) -> int:
+        """Blocks that can be inserted without eviction."""
+        return self.capacity_blocks - len(self)
+
+    @property
+    def num_masters(self) -> int:
+        """Resident master copies."""
+        return len(self._masters)
+
+    @property
+    def num_nonmasters(self) -> int:
+        """Resident non-master (replica) copies."""
+        return len(self._nonmasters)
+
+    # -- queries -----------------------------------------------------------------
+    def is_master(self, block: BlockId) -> bool:
+        """True if this node holds the master copy of ``block``."""
+        return block in self._masters
+
+    def age_of(self, block: BlockId) -> float:
+        """Last-access timestamp of a resident block."""
+        if block in self._masters:
+            return self._masters.age_of(block)
+        return self._nonmasters.age_of(block)
+
+    def oldest(self) -> Optional[Tuple[BlockId, float, bool]]:
+        """Overall oldest resident block as (block, age, is_master).
+
+        Ties between the two sets break toward the non-master — evicting
+        the replica is always at least as safe.
+        """
+        m = self._masters.oldest()
+        n = self._nonmasters.oldest()
+        if m is None and n is None:
+            return None
+        if m is None:
+            return (*n, False)  # type: ignore[misc]
+        if n is None:
+            return (*m, True)
+        return (*n, False) if n[1] <= m[1] else (*m, True)
+
+    def oldest_age(self) -> float:
+        """Age of the overall oldest block; +inf for an empty cache.
+
+        This is the quantity peers compare when deciding where to forward
+        an evicted master ("each node always knows the age of the oldest
+        blocks of its peers").
+        """
+        return min(self._masters.oldest_age(), self._nonmasters.oldest_age())
+
+    def oldest_nonmaster(self) -> Optional[Tuple[BlockId, float]]:
+        """Oldest non-master copy, or None if the cache holds only masters."""
+        return self._nonmasters.oldest()
+
+    # -- mutation -----------------------------------------------------------------
+    def touch(self, block: BlockId, now: float) -> None:
+        """Record an access to a resident block (refreshes its age)."""
+        if block in self._masters:
+            self._masters.touch(block, now)
+        else:
+            self._nonmasters.touch(block, now)
+
+    def insert(self, block: BlockId, *, master: bool, age: float) -> None:
+        """Insert ``block`` (error if present or if the cache is full).
+
+        ``age`` is the block's access timestamp — ``now`` for a fresh
+        fetch, or the *original* age for a forwarded master.
+        """
+        if block in self:
+            raise KeyError(f"{block} already cached at node {self.node_id}")
+        if self.is_full:
+            raise CacheFullError(
+                f"node {self.node_id} cache full ({self.capacity_blocks} blocks)"
+            )
+        (self._masters if master else self._nonmasters).add(block, age)
+
+    def remove(self, block: BlockId) -> bool:
+        """Remove a resident block; returns True if it was the master.
+
+        Any dirty flag is discarded with the block — callers that must
+        preserve modified data (eviction of a dirty master) check
+        :meth:`is_dirty` *before* removing.
+        """
+        self._dirty.discard(block)
+        if block in self._masters:
+            self._masters.remove(block)
+            return True
+        self._nonmasters.remove(block)
+        return False
+
+    # -- dirty tracking (write-protocol extension) ---------------------------
+    def mark_dirty(self, block: BlockId) -> None:
+        """Flag a resident *master* as modified and not yet written back."""
+        if block not in self._masters:
+            raise KeyError(f"{block} is not a resident master")
+        self._dirty.add(block)
+
+    def clear_dirty(self, block: BlockId) -> None:
+        """The block's modifications reached disk (idempotent)."""
+        self._dirty.discard(block)
+
+    def is_dirty(self, block: BlockId) -> bool:
+        """True if the block holds unwritten-back modifications."""
+        return block in self._dirty
+
+    @property
+    def num_dirty(self) -> int:
+        """Resident dirty masters."""
+        return len(self._dirty)
+
+    def promote_to_master(self, block: BlockId) -> None:
+        """Turn a resident non-master copy into the master (age kept).
+
+        Used when a forwarded master lands on a node already holding a
+        replica of the same block: the replica absorbs master status
+        instead of duplicating the block.
+        """
+        age = self._nonmasters.remove(block)
+        self._masters.add(block, age)
+
+    def compact(self) -> None:
+        """Bound heap garbage in long runs."""
+        self._masters.compact()
+        self._nonmasters.compact()

@@ -1,0 +1,88 @@
+"""Global master-block directory and the file-to-home mapping.
+
+The paper's optimistic baseline assumes "a perfect global directory of
+master blocks" maintained at zero cost, plus "perfect global knowledge of
+the age of the oldest block on each node".  :class:`GlobalDirectory`
+implements the former; the age oracle lives with the middleware (it reads
+peer caches directly, which *is* the perfect-knowledge assumption).
+
+The hint-based alternative (Sarkar & Hartman, the paper's future work)
+subclasses the directory in :mod:`repro.core.hints`.
+
+:class:`HomeMap` is the "general case of files being distributed across
+all nodes, with each node having a copy of the global file-to-node
+mapping"; a file's home is where its blocks live on disk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .block import BlockId
+
+__all__ = ["GlobalDirectory", "HomeMap"]
+
+
+class GlobalDirectory:
+    """Perfect, instantaneously consistent block -> master-holder map."""
+
+    __slots__ = ("_masters",)
+
+    def __init__(self) -> None:
+        self._masters: Dict[BlockId, int] = {}
+
+    def lookup(self, block: BlockId) -> Optional[int]:
+        """Node currently holding the master of ``block``, or None."""
+        return self._masters.get(block)
+
+    def set_master(self, block: BlockId, node_id: int) -> None:
+        """Record that ``node_id`` now holds the master of ``block``."""
+        self._masters[block] = node_id
+
+    def clear_master(self, block: BlockId) -> None:
+        """The master of ``block`` left cluster memory (dropped)."""
+        self._masters.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._masters)
+
+    def masters_at(self, node_id: int) -> int:
+        """Count of master blocks recorded at ``node_id`` (O(n); debugging
+        and invariant checks only)."""
+        return sum(1 for holder in self._masters.values() if holder == node_id)
+
+
+class HomeMap:
+    """Static assignment of files to the nodes whose disks store them.
+
+    ``strategy`` is either ``"round_robin"`` (file *f* lives on node
+    ``f % N`` — the even spread the paper assumes) or ``"concentrated"``
+    (every file on node 0 — the hot-spot stress of ablation A2, optionally
+    limited to the ``hot_files`` most popular files via
+    :meth:`concentrate`).
+    """
+
+    __slots__ = ("num_nodes", "num_files", "_home")
+
+    def __init__(self, num_files: int, num_nodes: int, strategy: str = "round_robin"):
+        if num_nodes < 1 or num_files < 1:
+            raise ValueError("need at least one file and one node")
+        self.num_nodes = num_nodes
+        self.num_files = num_files
+        if strategy == "round_robin":
+            self._home = [f % num_nodes for f in range(num_files)]
+        elif strategy == "concentrated":
+            self._home = [0] * num_files
+        else:
+            raise ValueError(f"unknown home strategy: {strategy!r}")
+
+    def home_of(self, file_id: int) -> int:
+        """Node whose disk stores ``file_id``."""
+        return self._home[file_id]
+
+    def concentrate(self, file_ids, node_id: int = 0) -> None:
+        """Re-home the given files onto one node (ablation A2)."""
+        if not 0 <= node_id < self.num_nodes:
+            raise ValueError(f"node {node_id} out of range")
+        for f in file_ids:
+            self._home[f] = node_id

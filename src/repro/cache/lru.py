@@ -1,0 +1,117 @@
+"""Age-ordered block sets with O(log n) amortized operations.
+
+A plain LRU list is not enough for cooperative caching: a *forwarded*
+master block arrives at its destination carrying its **original age**, so
+it must sort into the recency order rather than enter at the MRU end
+(the paper relies on this: "when a forwarded block arrives at its
+destination, all blocks at the destination may now be younger than the
+forwarded block; in this case, the forwarded block is dropped").
+
+:class:`AgedLRU` therefore stores an explicit age (last-access timestamp)
+per block and finds the minimum through a lazy-deletion binary heap:
+stale heap entries (from touches and removals) are discarded when they
+surface.  Amortized cost per operation is O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .block import BlockId
+
+__all__ = ["AgedLRU"]
+
+
+class AgedLRU:
+    """A set of blocks ordered by age (older = smaller timestamp).
+
+    Ties in age break by insertion order (earlier insertion = older),
+    which keeps runs deterministic.
+    """
+
+    __slots__ = ("_ages", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._ages: Dict[BlockId, float] = {}
+        self._heap: List[Tuple[float, int, BlockId]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._ages)
+
+    def __contains__(self, block: BlockId) -> bool:
+        return block in self._ages
+
+    def __iter__(self) -> Iterator[BlockId]:
+        return iter(self._ages)
+
+    def age_of(self, block: BlockId) -> float:
+        """Last-access timestamp of ``block`` (KeyError if absent)."""
+        return self._ages[block]
+
+    def add(self, block: BlockId, age: float) -> None:
+        """Insert ``block`` with the given age (error if present)."""
+        if block in self._ages:
+            raise KeyError(f"{block} already present")
+        self._set(block, age)
+
+    def touch(self, block: BlockId, age: float) -> None:
+        """Refresh ``block``'s age (KeyError if absent).
+
+        Ages must not go backwards for a resident block: a touch models a
+        new access, which can only make the block younger.
+        """
+        old = self._ages[block]
+        if age < old:
+            raise ValueError(f"age moving backwards for {block}: {age} < {old}")
+        self._set(block, age)
+
+    def remove(self, block: BlockId) -> float:
+        """Remove ``block``; returns its age (KeyError if absent)."""
+        return self._ages.pop(block)  # heap entry goes stale; lazily dropped
+
+    def _set(self, block: BlockId, age: float) -> None:
+        self._ages[block] = age
+        self._seq += 1
+        heapq.heappush(self._heap, (age, self._seq, block))
+
+    def oldest(self) -> Optional[Tuple[BlockId, float]]:
+        """The (block, age) with the smallest age, or None when empty."""
+        while self._heap:
+            age, _seq, block = self._heap[0]
+            current = self._ages.get(block)
+            if current is not None and current == age:
+                return block, age
+            heapq.heappop(self._heap)  # stale: removed or re-aged
+        return None
+
+    def oldest_age(self) -> float:
+        """Age of the oldest block; +inf when empty (so comparisons like
+        "does any peer hold an older block" degrade gracefully)."""
+        entry = self.oldest()
+        return entry[1] if entry is not None else float("inf")
+
+    def pop_oldest(self) -> Tuple[BlockId, float]:
+        """Remove and return the oldest (block, age); error when empty."""
+        entry = self.oldest()
+        if entry is None:
+            raise KeyError("pop from empty AgedLRU")
+        block, age = entry
+        del self._ages[block]
+        heapq.heappop(self._heap)
+        return block, age
+
+    def compact(self) -> None:
+        """Rebuild the heap, dropping stale entries (optional maintenance;
+        called by long-running simulations to bound memory)."""
+        self._heap = [
+            (age, i, block) for i, (block, age) in enumerate(self._ages.items())
+        ]
+        self._seq = len(self._heap)
+        heapq.heapify(self._heap)
+
+    @property
+    def heap_size(self) -> int:
+        """Current physical heap length (stale entries included)."""
+        return len(self._heap)

@@ -1,0 +1,27 @@
+"""Cluster hardware substrate (systems S2-S3 in DESIGN.md).
+
+A :class:`~repro.cluster.cluster.Cluster` bundles
+:class:`~repro.cluster.node.Node` objects (CPU + NIC + bus +
+:class:`~repro.cluster.disk.Disk`), a shared
+:class:`~repro.cluster.network.Network`, the front-end
+:class:`~repro.cluster.router.Router` and
+:class:`~repro.cluster.router.RoundRobinDNS`.
+"""
+
+from .cluster import Cluster
+from .disk import FIFO, SCAN, Disk, DiskRequest
+from .network import Network
+from .node import Node
+from .router import RoundRobinDNS, Router
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "Disk",
+    "DiskRequest",
+    "FIFO",
+    "SCAN",
+    "Network",
+    "Router",
+    "RoundRobinDNS",
+]

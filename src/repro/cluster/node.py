@@ -1,0 +1,90 @@
+"""A cluster node: CPU, send-side NIC and disk joined by a bus.
+
+Each hardware component is a finite-queue service center (the disk is the
+specialised :class:`~repro.cluster.disk.Disk`).  Protocol code acquires
+them explicitly, e.g.::
+
+    yield node.cpu.submit(params.cpu.parse_ms)
+    yield node.disk.submit(run)
+    yield node.bus.submit(params.bus.transfer_ms(size_kb))
+
+Nothing here knows about caching policy — the node is a pure substrate
+shared by the cooperative-caching server and the PRESS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import SimParams
+from ..sim.engine import Simulator
+from ..sim.servicecenter import ServiceCenter
+from .disk import SCAN, Disk
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One cluster node's hardware."""
+
+    __slots__ = ("sim", "node_id", "params", "cpu", "nic", "bus", "disk")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: SimParams,
+        disk_discipline: str = SCAN,
+    ):
+        if node_id < 0:
+            raise ValueError("node_id must be >= 0")
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.cpu = ServiceCenter(
+            sim, f"node{node_id}.cpu", capacity=1, queue_limit=params.queue_limit
+        )
+        #: Send-side NIC: occupancy while pushing a message onto the wire.
+        self.nic = ServiceCenter(
+            sim, f"node{node_id}.nic", capacity=1, queue_limit=params.queue_limit
+        )
+        self.bus = ServiceCenter(
+            sim, f"node{node_id}.bus", capacity=1, queue_limit=params.queue_limit
+        )
+        self.disk = Disk(
+            sim,
+            f"node{node_id}.disk",
+            params,
+            discipline=disk_discipline,
+            queue_limit=params.queue_limit,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Node({self.node_id})"
+
+    @property
+    def load(self) -> int:
+        """Outstanding work across CPU and disk.
+
+        PRESS's load-aware dispatcher uses this as its load index (the
+        paper's PRESS uses "the load at each node"; queued work is the
+        standard proxy).
+        """
+        return self.cpu.load + self.disk.load
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement window on every component."""
+        self.cpu.reset_stats()
+        self.nic.reset_stats()
+        self.bus.reset_stats()
+        self.disk.reset_stats()
+
+    def utilization(self, now: Optional[float] = None) -> dict:
+        """Per-component utilization over the current window (Figure 6a)."""
+        t = self.sim.now if now is None else now
+        return {
+            "cpu": self.cpu.utilization.utilization(t),
+            "nic": self.nic.utilization.utilization(t),
+            "bus": self.bus.utilization.utilization(t),
+            "disk": self.disk.utilization.utilization(t),
+        }

@@ -1,0 +1,61 @@
+"""Front-end router and round-robin DNS request distribution.
+
+The paper distributes client requests "using a round robin DNS scheme";
+new requests are then "routed in accordance with the Cisco 7600
+performance specifications".  The router is a single service center with a
+tiny per-request forwarding cost (the 7600 forwards far faster than our
+request rates, so it stays off the critical path, but modeling it keeps
+the shape of the paper's pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..params import SimParams
+from ..sim.engine import Event, Simulator
+from ..sim.servicecenter import ServiceCenter
+from .node import Node
+
+__all__ = ["Router", "RoundRobinDNS"]
+
+
+class Router(ServiceCenter):
+    """Cisco-7600-class front end: fixed per-request forwarding cost."""
+
+    def __init__(self, sim: Simulator, params: SimParams):
+        super().__init__(sim, "router", capacity=1, queue_limit=params.queue_limit)
+        self._forward_ms = params.router.forward_ms
+
+    def forward(self) -> Event:
+        """Forward one client request; fires when forwarding completes."""
+        return self.submit(self._forward_ms)
+
+
+class RoundRobinDNS:
+    """Round-robin assignment of requests to cluster nodes.
+
+    The paper's clients resolve the server name through RR DNS; we apply
+    the rotation per request, which is the steady-state effect of per-
+    client rotation with many clients.  It is exactly this rotation that
+    "diffuses the hot files throughout the cluster" (Section 5).
+    """
+
+    __slots__ = ("_nodes", "_next")
+
+    def __init__(self, nodes: Sequence[Node]):
+        if not nodes:
+            raise ValueError("need at least one node")
+        self._nodes: List[Node] = list(nodes)
+        self._next = 0
+
+    def pick(self) -> Node:
+        """The node the next request is directed to."""
+        node = self._nodes[self._next]
+        self._next = (self._next + 1) % len(self._nodes)
+        return node
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """The rotation set."""
+        return tuple(self._nodes)

@@ -1,0 +1,29 @@
+"""The cooperative caching middleware (systems S5-S6 in DESIGN.md).
+
+* :class:`~repro.core.middleware.CoopCacheLayer` — the protocol engine.
+* :class:`~repro.core.config.CoopCacheConfig` / :func:`~repro.core.config.variant`
+  — the paper's named variants (``cc-basic`` / ``cc-sched`` / ``cc-kmc``).
+* :mod:`~repro.core.policies` — replacement policies.
+* :class:`~repro.core.hints.HintDirectory` — hint-based location (A1).
+* :class:`~repro.core.api.CoopCacheService` — the library facade.
+"""
+
+from .api import CoopCacheService, blocks_for_mb
+from .config import CoopCacheConfig, VARIANTS, variant
+from .hints import HINT_TRAFFIC_OVERHEAD, HintDirectory
+from .middleware import REQUEST_MSG_KB, CoopCacheLayer
+from .policies import POLICIES, select_victim
+
+__all__ = [
+    "CoopCacheLayer",
+    "CoopCacheConfig",
+    "CoopCacheService",
+    "blocks_for_mb",
+    "VARIANTS",
+    "variant",
+    "HintDirectory",
+    "HINT_TRAFFIC_OVERHEAD",
+    "REQUEST_MSG_KB",
+    "POLICIES",
+    "select_victim",
+]

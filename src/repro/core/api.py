@@ -1,0 +1,97 @@
+"""High-level facade: the middleware as an embeddable library.
+
+The paper pitches the layer as "a building block for diverse distributed
+services" — usable "as a library module as well as an independent
+middleware service".  :class:`CoopCacheService` is that building block:
+it owns the simulator, cluster and middleware wiring so a service author
+writes only their request-handling logic::
+
+    svc = CoopCacheService(file_sizes_kb=[12.0, 300.0, 8.0],
+                           num_nodes=4, mem_mb_per_node=1)
+
+    def handler(node, file_id):
+        yield from svc.layer.read(node, file_id)      # the middleware
+        yield node.cpu.submit(0.05)                   # service-specific work
+
+    svc.submit(node_id=0, gen=handler(svc.node(0), 1))
+    svc.run()
+
+Experiments that need full control (warm-up windows, custom clients)
+build the pieces directly; see :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from ..cache.block import FileLayout
+from ..cache.directory import GlobalDirectory, HomeMap
+from ..cluster.cluster import Cluster
+from ..cluster.node import Node
+from ..params import DEFAULT_PARAMS, SimParams
+from ..sim.engine import Event, Process, Simulator
+from ..sim.rng import stream
+from .config import CoopCacheConfig
+from .hints import HintDirectory
+from .middleware import CoopCacheLayer
+
+__all__ = ["CoopCacheService", "blocks_for_mb"]
+
+
+def blocks_for_mb(mem_mb: float, params: SimParams = DEFAULT_PARAMS) -> int:
+    """Cache blocks that fit in ``mem_mb`` MB of node memory."""
+    blocks = int(mem_mb * 1024 // params.block_kb)
+    return max(1, blocks)
+
+
+class CoopCacheService:
+    """One-stop construction of a cooperatively cached cluster service."""
+
+    def __init__(
+        self,
+        file_sizes_kb: Sequence[float],
+        num_nodes: int,
+        mem_mb_per_node: float,
+        config: Optional[CoopCacheConfig] = None,
+        params: SimParams = DEFAULT_PARAMS,
+        home_strategy: str = "round_robin",
+        seed: int = 0,
+    ):
+        self.config = config or CoopCacheConfig()
+        self.params = params
+        self.sim = Simulator()
+        self.cluster = Cluster(
+            self.sim, params, num_nodes,
+            disk_discipline=self.config.disk_discipline,
+        )
+        self.layout = FileLayout(file_sizes_kb, params)
+        self.homes = HomeMap(self.layout.num_files, num_nodes, home_strategy)
+        directory: Optional[GlobalDirectory] = None
+        if self.config.directory == "hints":
+            directory = HintDirectory(
+                self.config.hint_accuracy, num_nodes, stream(seed, "hints")
+            )
+        self.layer = CoopCacheLayer(
+            self.cluster,
+            self.layout,
+            self.homes,
+            capacity_blocks=blocks_for_mb(mem_mb_per_node, params),
+            config=self.config,
+            directory=directory,
+        )
+
+    def node(self, node_id: int) -> Node:
+        """The node object for ``node_id`` (to hand to protocol coroutines)."""
+        return self.cluster.nodes[node_id]
+
+    def submit(self, gen: Generator[Event, object, object]) -> Process:
+        """Start a service coroutine; returns its completion event."""
+        return self.sim.process(gen)
+
+    def read(self, node_id: int, file_id: int) -> Process:
+        """Convenience: start a plain middleware read as its own process."""
+        return self.submit(self.layer.read(self.node(node_id), file_id))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the simulation (see :meth:`repro.sim.Simulator.run`)."""
+        self.sim.run(until=until)

@@ -1,0 +1,92 @@
+"""Hint-based master-block location (Sarkar & Hartman, OSDI '96).
+
+The paper's results assume a *perfect* global directory and cite Sarkar &
+Hartman to argue a practical system gets close: "it is possible to
+achieve very high location accuracy for master blocks (on the order of
+98%) using a hint-based directory; exchanging hints only imposed an
+overhead of 0.4%".  The paper's future work is to implement exactly this
+variant — ablation A1 in DESIGN.md.
+
+We model hints at the fidelity the protocol cares about:
+
+* **Routing lookups** (where should node *n* send its block request?) go
+  through the hint table and are wrong with probability ``1 - accuracy``.
+  A wrong hint either points at a node that no longer holds the master
+  (the request bounces and falls back to the home disk — the expensive
+  failure mode) or reports the block uncached when it is cached (a
+  missed remote-hit opportunity).
+* **Consistency operations** (recording who holds a master after a disk
+  read or a forward) remain exact: in the real protocol the nodes
+  involved in a transfer know the truth first-hand; hints only degrade
+  *third-party* knowledge.
+* The 0.4% bandwidth overhead of piggybacked hint exchange is charged as
+  a multiplicative factor on control-message size.
+
+``route_lookup`` draws from a dedicated RNG stream so hint noise never
+perturbs workload generation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cache.block import BlockId
+from ..cache.directory import GlobalDirectory
+
+__all__ = ["HintDirectory", "HINT_TRAFFIC_OVERHEAD"]
+
+#: Fractional extra control traffic from piggybacked hint exchange.
+HINT_TRAFFIC_OVERHEAD = 0.004
+
+
+class HintDirectory(GlobalDirectory):
+    """A directory whose *routing* answers are only probabilistically right."""
+
+    __slots__ = ("accuracy", "num_nodes", "_rng", "wrong_hints", "lookups")
+
+    def __init__(self, accuracy: float, num_nodes: int, rng: np.random.Generator):
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        super().__init__()
+        self.accuracy = accuracy
+        self.num_nodes = num_nodes
+        self._rng = rng
+        #: Routing lookups that returned a wrong answer.
+        self.wrong_hints = 0
+        #: Total routing lookups.
+        self.lookups = 0
+
+    def route_lookup(self, block: BlockId) -> Optional[int]:
+        """Where a node *believes* the master of ``block`` lives.
+
+        With probability ``accuracy`` this is the truth; otherwise the
+        hint is stale: either a uniformly random wrong node (the request
+        will bounce) or, when the block genuinely is mastered somewhere,
+        possibly ``None`` (a missed hit).
+        """
+        self.lookups += 1
+        truth = self.lookup(block)
+        if self._rng.random() < self.accuracy:
+            return truth
+        self.wrong_hints += 1
+        if truth is None:
+            # Stale positive: point at some node; it will bounce to disk.
+            return int(self._rng.integers(self.num_nodes))
+        # Stale negative or stale location, equally likely.
+        if self._rng.random() < 0.5:
+            return None
+        others = [n for n in range(self.num_nodes) if n != truth]
+        if not others:
+            return None
+        return int(others[int(self._rng.integers(len(others)))])
+
+    @property
+    def observed_accuracy(self) -> float:
+        """Fraction of routing lookups answered correctly so far."""
+        if self.lookups == 0:
+            return 1.0
+        return 1.0 - self.wrong_hints / self.lookups

@@ -1,0 +1,808 @@
+"""The cooperative caching middleware layer (the paper's contribution).
+
+:class:`CoopCacheLayer` manages the memories of all cluster nodes as one
+aggregate block cache.  The protocol, from Section 3 of the paper:
+
+* When a block is read from disk it becomes the **master copy**; a global
+  directory records where each master lives.
+* A request for block *b* at node *n*:
+
+  1. *n* holds a copy → **local hit**, serve immediately.
+  2. the directory locates master at peer *m* → *n* requests a
+     **non-master copy** from *m* (network round trip, peer CPU), caches
+     it, serves → **remote (global) hit**.
+  3. no master in memory → *n* asks *b*'s **home node** to read it from
+     disk and forward the master; the directory now points at *n*.
+
+* Eviction (cache full): the policy picks a victim
+  (:mod:`repro.core.policies`).  A non-master victim is dropped.  A
+  master victim is dropped if it is the globally oldest block; otherwise
+  it is **forwarded** to the peer holding the oldest block, which drops
+  its own oldest block to make room.  Forwarded blocks keep their age,
+  never cascade further evictions, and are dropped on arrival if
+  everything at the destination is younger.
+
+The layer is service-agnostic: the web server (:mod:`repro.web`) and the
+custom-service example both drive it through :meth:`CoopCacheLayer.read`.
+Races the paper acknowledges — a master evicted while a peer request is
+in flight — are handled by falling back to the home node's disk.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ..cache.block import BlockId, FileLayout
+from ..cache.blockcache import BlockCache
+from ..cache.directory import GlobalDirectory, HomeMap
+from ..cluster.cluster import Cluster
+from ..cluster.disk import DiskRequest
+from ..cluster.node import Node
+from ..sim.engine import Event
+from ..sim.stats import CounterSet
+from .config import CoopCacheConfig
+
+__all__ = ["CoopCacheLayer", "REQUEST_MSG_KB"]
+
+#: Size of a control message (block request, forward notice), KB.
+REQUEST_MSG_KB = 0.1
+
+
+class CoopCacheLayer:
+    """Block-based cooperative caching over a :class:`Cluster`.
+
+    ``capacity_blocks`` is the per-node cache size.  All protocol methods
+    are simulation coroutines (generators over events) so callers compose
+    them into request flows.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        layout: FileLayout,
+        homes: HomeMap,
+        capacity_blocks: int,
+        config: Optional[CoopCacheConfig] = None,
+        directory: Optional[GlobalDirectory] = None,
+    ):
+        if homes.num_nodes != len(cluster):
+            raise ValueError("home map node count != cluster size")
+        if homes.num_files != layout.num_files:
+            raise ValueError("home map file count != layout file count")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.params = cluster.params
+        self.layout = layout
+        self.homes = homes
+        self.config = config or CoopCacheConfig()
+        self.caches: List[BlockCache] = [
+            BlockCache(node.node_id, capacity_blocks) for node in cluster.nodes
+        ]
+        self.directory = directory if directory is not None else GlobalDirectory()
+        #: Protocol event counters; block-level hits feed Figure 4.
+        self.counters = CounterSet()
+        # Per-node in-flight fetch table: concurrent requests for a block
+        # already being fetched join the existing fetch instead of issuing
+        # a duplicate disk/peer read (standard request coalescing).
+        self._inflight: List[Dict[BlockId, Event]] = [
+            {} for _ in cluster.nodes
+        ]
+        # Cluster-wide pending-master table: block -> completion event of
+        # a disk read already fetching its master at some node.  The
+        # paper's "perfect, zero-cost" directory naturally knows about
+        # reads in progress; a requester waits for the pending read and
+        # then fetches the fresh master from its new holder instead of
+        # issuing a duplicate disk read.
+        self._pending_master: Dict[BlockId, Event] = {}
+        # Hint exchange piggybacks on control messages (Sarkar & Hartman's
+        # measured 0.4% overhead); perfect directories pay nothing.
+        from .hints import HINT_TRAFFIC_OVERHEAD, HintDirectory
+
+        if isinstance(self.directory, HintDirectory):
+            self._msg_kb = REQUEST_MSG_KB * (1.0 + HINT_TRAFFIC_OVERHEAD)
+            self._route = self.directory.route_lookup
+        else:
+            self._msg_kb = REQUEST_MSG_KB
+            self._route = self.directory.lookup
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def read(
+        self, node: Node, file_id: int
+    ) -> Generator[Event, object, None]:
+        """Coroutine: make every block of ``file_id`` readable at ``node``.
+
+        Charges the Table 1 block-operation costs along the way and
+        returns once all blocks have been served locally, fetched from
+        peers, or read from disk.  This is the middleware's whole public
+        read path; a service that reads byte ranges can call
+        :meth:`read_blocks` directly.
+        """
+        blocks = list(self.layout.blocks(file_id))
+        return (yield from self.read_blocks(node, blocks))
+
+    def read_blocks(
+        self, node: Node, blocks: List[BlockId]
+    ) -> Generator[Event, object, str]:
+        """Coroutine: ensure ``blocks`` are served through ``node``.
+
+        Returns the request's service class — ``"local"`` (every block
+        already resident), ``"remote"`` (peer memory involved, no disk)
+        or ``"disk"`` (at least one block came off a disk) — which the
+        measurement harness uses for per-class response-time breakdowns
+        (the paper's Figure 5 discussion attributes the middleware's
+        latency premium to exactly these classes).
+        """
+        # "Process a file request": per-block bookkeeping on the CPU.
+        yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
+
+        local, joined, by_peer, by_home = self._classify(node, blocks)
+
+        for blk in local:
+            self.counters.incr("local_hit")
+            self.caches[node.node_id].touch(blk, self.sim.now)
+
+        fetches = list(joined)
+        for peer_id, wanted in by_peer.items():
+            fetches.append(
+                self._spawn_fetch(
+                    node, wanted, self._fetch_from_peer(node, peer_id, wanted)
+                )
+            )
+        for home_id, wanted in by_home.items():
+            proc = self._spawn_fetch(
+                node, wanted, self._fetch_from_disk(node, home_id, wanted)
+            )
+            # Publish the pending reads *synchronously*: requests at
+            # other nodes classified at this same instant must see them
+            # (the disk fetch coroutine itself only starts a kernel step
+            # later, which would be too late).
+            registered = [
+                blk for blk in wanted if blk not in self._pending_master
+            ]
+            for blk in registered:
+                self._pending_master[blk] = proc
+            if registered:
+                proc.callbacks.append(
+                    self._make_pending_cleanup(registered, proc)
+                )
+            fetches.append(proc)
+        if fetches:
+            yield self.sim.all_of(fetches)
+        if by_home:
+            return "disk"
+        if by_peer or joined:
+            return "remote"
+        return "local"
+
+    def _make_pending_cleanup(self, blocks: List[BlockId], proc: Event):
+        """Callback clearing pending-master entries when a fetch ends."""
+
+        def cleanup(_ev: Event) -> None:
+            for blk in blocks:
+                if self._pending_master.get(blk) is proc:
+                    del self._pending_master[blk]
+
+        return cleanup
+
+    def _spawn_fetch(self, node: Node, blocks: List[BlockId], gen) -> Event:
+        """Start a fetch coroutine and register its blocks as in flight."""
+        proc = self.sim.process(self._tracked(node.node_id, blocks, gen))
+        table = self._inflight[node.node_id]
+        for blk in blocks:
+            table[blk] = proc
+        return proc
+
+    def _tracked(self, node_id: int, blocks: List[BlockId], gen):
+        """Run ``gen`` and clear the in-flight entries when it finishes."""
+        try:
+            yield from gen
+        finally:
+            table = self._inflight[node_id]
+            for blk in blocks:
+                table.pop(blk, None)
+
+    # ------------------------------------------------------------------
+    # write path (paper Section 6 future work)
+    # ------------------------------------------------------------------
+    def write(self, node: Node, file_id: int) -> Generator[Event, object, None]:
+        """Coroutine: write every block of ``file_id`` at ``node``.
+
+        Write-invalidate, single-writer semantics:
+
+        1. ``node`` acquires the **master** of each block (ownership
+           transfer from the current holder, or creation for blocks with
+           no in-memory master — writes are whole-block, so no
+           read-modify-write disk fetch is needed);
+        2. every replica at a peer is invalidated (one message per peer,
+           per-block CPU at the peer);
+        3. the write is applied to the local masters; under
+           ``write-through`` the blocks are flushed to the home disk
+           immediately, under ``write-back`` they are flushed when the
+           dirty master is evicted or explicitly via :meth:`sync`.
+        """
+        blocks = list(self.layout.blocks(file_id))
+        yield from self.write_blocks(node, blocks)
+
+    def write_blocks(
+        self, node: Node, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Coroutine: whole-block writes of ``blocks`` at ``node``."""
+        yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
+        cache = self.caches[node.node_id]
+        for blk in blocks:
+            yield from self._acquire_master(node, blk)
+
+        # Invalidate replicas cluster-wide (perfect copy knowledge: one
+        # message to each peer actually holding a stale copy).
+        victims: Dict[int, List[BlockId]] = defaultdict(list)
+        for peer_cache in self.caches:
+            if peer_cache.node_id == node.node_id:
+                continue
+            for blk in blocks:
+                if blk in peer_cache:
+                    victims[peer_cache.node_id].append(blk)
+        if victims:
+            invalidations = [
+                self.sim.process(self._invalidate(node, pid, blks))
+                for pid, blks in victims.items()
+            ]
+            yield self.sim.all_of(invalidations)
+
+        # Apply the write to the local masters.
+        yield node.cpu.submit(self.params.cpu.write_block_ms * len(blocks))
+        for blk in blocks:
+            if blk in cache and cache.is_master(blk):
+                cache.touch(blk, self.sim.now)
+                cache.mark_dirty(blk)
+        self.counters.incr("block_writes", len(blocks))
+        if self.config.write_policy == "write-through":
+            yield from self._flush(node, blocks)
+
+    def _acquire_master(
+        self, node: Node, blk: BlockId
+    ) -> Generator[Event, object, None]:
+        """Make ``node`` the master holder of ``blk`` (write ownership)."""
+        cache = self.caches[node.node_id]
+        holder = self.directory.lookup(blk)
+        if blk in cache and cache.is_master(blk):
+            return
+        if holder is not None and holder != node.node_id:
+            # Ownership transfer: the old holder gives up its copy.
+            old = self.cluster.nodes[holder]
+            old_cache = self.caches[holder]
+            yield from self.cluster.network.transfer(node, old, self._msg_kb)
+            if blk in old_cache:
+                # The copy leaves the holder the instant the transfer
+                # request is processed (pin semantics, as on the read
+                # path) so no concurrent eviction can race the removal.
+                was_dirty = old_cache.is_dirty(blk)
+                old_cache.remove(blk)
+                yield old.cpu.submit(self.params.cpu.serve_peer_block_ms)
+                yield from self.cluster.network.transfer(
+                    old, node, self.layout.block_size_kb(blk)
+                )
+                self.counters.incr("ownership_transfers")
+                if was_dirty:
+                    # Dirtiness travels with the master copy.
+                    self._install_master_for_write(node, blk, dirty=True)
+                    return
+        self._install_master_for_write(node, blk, dirty=False)
+
+    def _install_master_for_write(
+        self, node: Node, blk: BlockId, *, dirty: bool
+    ) -> None:
+        """Synchronously place a (possibly fresh) master at the writer.
+
+        Concurrent writers serialize through the directory: the later
+        writer wins, and any master a racing writer installed meanwhile
+        is stale data and is dropped (single-master invariant).
+        """
+        other = self.directory.lookup(blk)
+        if other is not None and other != node.node_id:
+            other_cache = self.caches[other]
+            if blk in other_cache and other_cache.is_master(blk):
+                other_cache.remove(blk)
+                self.counters.incr("write_race_invalidations")
+        cache = self.caches[node.node_id]
+        if blk in cache:
+            if not cache.is_master(blk):
+                cache.promote_to_master(blk)
+        else:
+            if cache.is_full:
+                self._evict_one(node.node_id)
+            cache.insert(blk, master=True, age=self.sim.now)
+        self.directory.set_master(blk, node.node_id)
+        if dirty:
+            cache.mark_dirty(blk)
+
+    def _invalidate(
+        self, writer: Node, peer_id: int, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Drop stale copies of ``blocks`` at ``peer_id``."""
+        peer = self.cluster.nodes[peer_id]
+        yield from self.cluster.network.transfer(writer, peer, self._msg_kb)
+        yield peer.cpu.submit(
+            self.params.cpu.invalidate_block_ms * len(blocks)
+        )
+        peer_cache = self.caches[peer_id]
+        for blk in blocks:
+            if blk in peer_cache:
+                was_master = peer_cache.remove(blk)
+                self.counters.incr("invalidations")
+                if was_master and self.directory.lookup(blk) == peer_id:
+                    self.directory.clear_master(blk)
+
+    def _flush(
+        self, node: Node, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Write dirty blocks back to their home disks."""
+        cache = self.caches[node.node_id]
+        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        for blk in blocks:
+            if blk in cache and cache.is_dirty(blk):
+                by_home[self.homes.home_of(blk.file_id)].append(blk)
+        for home_id, blks in by_home.items():
+            home = self.cluster.nodes[home_id]
+            total_kb = sum(self.layout.block_size_kb(b) for b in blks)
+            if home_id != node.node_id:
+                yield from self.cluster.network.transfer(node, home, total_kb)
+            for run in self._runs(blks):
+                yield home.disk.submit(run)
+            self.counters.incr("flushed_blocks", len(blks))
+            for blk in blks:
+                if blk in cache:
+                    cache.clear_dirty(blk)
+
+    def sync(self, node: Node) -> Generator[Event, object, None]:
+        """Coroutine: flush every dirty master at ``node`` (write-back)."""
+        cache = self.caches[node.node_id]
+        dirty = [blk for blk in cache._dirty]  # noqa: SLF001 - own state
+        yield from self._flush(node, dirty)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def _classify(
+        self, node: Node, blocks: List[BlockId]
+    ) -> Tuple[
+        List[BlockId],
+        List[Event],
+        Dict[int, List[BlockId]],
+        Dict[int, List[BlockId]],
+    ]:
+        """Split ``blocks`` into local hits, in-flight fetches to join,
+        per-peer fetches, and per-home disk reads, using the directory."""
+        cache = self.caches[node.node_id]
+        inflight = self._inflight[node.node_id]
+        local: List[BlockId] = []
+        joined: List[Event] = []
+        by_peer: Dict[int, List[BlockId]] = defaultdict(list)
+        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        for blk in blocks:
+            if blk in cache:
+                local.append(blk)
+                continue
+            pending = inflight.get(blk)
+            if pending is not None:
+                # Another request at this node is already fetching it.
+                self.counters.incr("coalesced")
+                joined.append(pending)
+                continue
+            holder = self._route(blk)
+            if holder is not None and holder != node.node_id:
+                by_peer[holder].append(blk)
+                continue
+            pending_read = self._pending_master.get(blk)
+            if pending_read is not None:
+                # Some other node's disk read for this block is already
+                # in flight: wait for it, then reclassify (usually a
+                # remote hit on the fresh master).
+                self.counters.incr("waited_master")
+                joined.append(
+                    self._spawn_fetch(
+                        node, [blk], self._retry_after(node, blk, pending_read)
+                    )
+                )
+                continue
+            # No master in memory (or a stale hint pointing at us):
+            # read from the home node's disk.
+            by_home[self.homes.home_of(blk.file_id)].append(blk)
+        return local, joined, dict(by_peer), dict(by_home)
+
+    def _retry_after(
+        self, node: Node, blk: BlockId, pending: Event
+    ) -> Generator[Event, object, None]:
+        """Wait out another node's disk read, then re-resolve ``blk``.
+
+        Runs inside the requester's tracked fetch process, so same-node
+        requests coalesce onto it; re-resolution goes straight to the
+        fetch paths (not :meth:`read_blocks`, which would see this very
+        fetch in the in-flight table and wait on itself).
+        """
+        if not pending.processed:
+            yield pending
+        cache = self.caches[node.node_id]
+        if blk in cache:
+            self.counters.incr("local_hit")
+            cache.touch(blk, self.sim.now)
+            return
+        holder = self._route(blk)
+        if holder is not None and holder != node.node_id:
+            yield from self._fetch_from_peer(node, holder, [blk])
+            return
+        again = self._pending_master.get(blk)
+        if again is not None and again is not pending:
+            yield from self._retry_after(node, blk, again)
+            return
+        yield from self._fetch_from_disk(
+            node, self.homes.home_of(blk.file_id), [blk]
+        )
+
+    # ------------------------------------------------------------------
+    # peer fetch path (remote / global hit)
+    # ------------------------------------------------------------------
+    def _fetch_from_peer(
+        self, node: Node, peer_id: int, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Request non-master copies of ``blocks`` from ``peer_id``.
+
+        Blocks the peer discarded while the request was in flight fall
+        back to a disk read at their home — the race the paper explicitly
+        allows under its "instantaneous directory" assumption.
+        """
+        peer = self.cluster.nodes[peer_id]
+        peer_cache = self.caches[peer_id]
+        net = self.cluster.network
+
+        # Request message: n -> m.
+        yield from net.transfer(node, peer, self._msg_kb)
+
+        present = [blk for blk in blocks if blk in peer_cache]
+        missing = [blk for blk in blocks if blk not in peer_cache]
+
+        if present:
+            # The peer pins the blocks it is about to serve: presence and
+            # recency are decided the instant the request is processed,
+            # so a concurrent eviction cannot yank them mid-serve.
+            if self.config.touch_on_peer_hit:
+                for blk in present:
+                    peer_cache.touch(blk, self.sim.now)
+            # Peer CPU: "serve peer block request" per block.
+            yield peer.cpu.submit(
+                self.params.cpu.serve_peer_block_ms * len(present)
+            )
+            reply_kb = sum(self.layout.block_size_kb(blk) for blk in present)
+            yield from net.transfer(peer, node, reply_kb)
+            for blk in present:
+                self.counters.incr("remote_hit")
+            yield from self._install(node, present, master=False)
+
+        if missing:
+            self.counters.incr("peer_miss", len(missing))
+            # Hint-chain correction (Sarkar & Hartman): the contacted
+            # peer knows more recent state, so the request is forwarded
+            # toward the block's true master (one hop) rather than
+            # bouncing straight to disk.  Blocks that genuinely have no
+            # in-memory master fall back to their home disk.
+            chase: Dict[int, List[BlockId]] = defaultdict(list)
+            by_home: Dict[int, List[BlockId]] = defaultdict(list)
+            for blk in missing:
+                true_holder = self.directory.lookup(blk)
+                if true_holder is not None and true_holder not in (
+                    node.node_id, peer_id
+                ):
+                    chase[true_holder].append(blk)
+                else:
+                    by_home[self.homes.home_of(blk.file_id)].append(blk)
+            fallback = [
+                self.sim.process(self._fetch_from_peer(node, h, blks))
+                for h, blks in chase.items()
+            ] + [
+                self.sim.process(self._fetch_from_disk(node, h, blks))
+                for h, blks in by_home.items()
+            ]
+            yield self.sim.all_of(fallback)
+
+    # ------------------------------------------------------------------
+    # disk path (miss)
+    # ------------------------------------------------------------------
+    def _fetch_from_disk(
+        self, node: Node, home_id: int, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Read ``blocks`` from their home's disk; install masters at
+        ``node``; update the directory."""
+        home = self.cluster.nodes[home_id]
+        net = self.cluster.network
+        remote_home = home_id != node.node_id
+
+        done = self.sim.event()
+        registered = [
+            blk for blk in blocks if blk not in self._pending_master
+        ]
+        for blk in registered:
+            self._pending_master[blk] = done
+        try:
+            if remote_home:
+                yield from net.transfer(node, home, self._msg_kb)
+
+            # Block-granular interface: the stream reads its blocks one
+            # at a time, so blocks from concurrent streams interleave in
+            # the disk queue.  Under FIFO this is the paper's "12 seeks
+            # instead of 4" pathology; the SCAN discipline re-groups the
+            # queued blocks by (file, extent, block) and undoes it.
+            runs = self._runs(blocks)
+            for run in runs:
+                yield home.disk.submit(run)
+            self.counters.incr("disk_read", len(blocks))
+            self.counters.incr("disk_runs", len(runs))
+
+            total_kb = sum(self.layout.block_size_kb(blk) for blk in blocks)
+            # Move the data across the home's bus (disk -> memory/NIC).
+            yield home.bus.submit(self.params.bus.transfer_ms(total_kb))
+
+            if remote_home:
+                # Home CPU forwards the freshly read master copies.
+                yield home.cpu.submit(
+                    self.params.cpu.serve_peer_block_ms * len(blocks)
+                )
+                yield from net.transfer(home, node, total_kb)
+
+            yield from self._install(node, blocks, master=True)
+        finally:
+            for blk in registered:
+                if self._pending_master.get(blk) is done:
+                    del self._pending_master[blk]
+            done.succeed()
+
+    def _runs(self, blocks: List[BlockId]) -> List[DiskRequest]:
+        """One disk request per block — deliberately.
+
+        The middleware is block-based, so its disk traffic arrives at the
+        queue in block units (as in the paper's simulator).  Whether the
+        blocks of one stream are read back-to-back (2 seeks for a 64 KB
+        extent: metadata + data, then contiguous transfers) or interleave
+        with other streams (a seek pair per block — the paper's "12 seeks
+        instead of 4") is then decided entirely by the disk's queue
+        discipline: FIFO reproduces CC-Basic's interleaving pathology,
+        SCAN reproduces the CC-Sched fix.
+        """
+        return [
+            DiskRequest(
+                blk.file_id,
+                self.layout.extent_of(blk),
+                blk.index,
+                1,
+                self.layout.block_size_kb(blk),
+            )
+            for blk in sorted(blocks)
+        ]
+
+    # ------------------------------------------------------------------
+    # installation & eviction
+    # ------------------------------------------------------------------
+    def _install(
+        self, node: Node, blocks: List[BlockId], *, master: bool
+    ) -> Generator[Event, object, None]:
+        """Insert arrived blocks at ``node``, evicting as needed.
+
+        "Cache a new block" CPU cost is charged per block; eviction
+        decisions are instantaneous state changes (their network cost is
+        the forwarded block's transfer, spawned asynchronously).
+        """
+        cache = self.caches[node.node_id]
+        yield node.cpu.submit(self.params.cpu.cache_block_ms * len(blocks))
+        for blk in blocks:
+            # If some other node (re-)mastered the block while our fetch
+            # was in flight, install ours as a plain replica: the cluster
+            # must never hold two master copies.
+            as_master = master and not self._has_other_master(blk, node.node_id)
+            if master and not as_master:
+                self.counters.incr("master_race")
+            if blk in cache:
+                # Raced with another request that installed it first.
+                cache.touch(blk, self.sim.now)
+                if as_master and not cache.is_master(blk):
+                    cache.promote_to_master(blk)
+                    self.directory.set_master(blk, node.node_id)
+                continue
+            if cache.is_full:
+                self._evict_one(node.node_id)
+            cache.insert(blk, master=as_master, age=self.sim.now)
+            if as_master:
+                self.directory.set_master(blk, node.node_id)
+
+    def _has_other_master(self, blk: BlockId, node_id: int) -> bool:
+        """True if the directory records a master at some other node."""
+        holder = self.directory.lookup(blk)
+        return holder is not None and holder != node_id
+
+    def _evict_one(self, node_id: int) -> None:
+        """Free one slot at ``node_id`` per the configured policy."""
+        from .policies import select_victim
+
+        cache = self.caches[node_id]
+        victim = select_victim(
+            self.config.policy, cache, self.config.hybrid_bias_ms
+        )
+        if victim is None:  # pragma: no cover - full implies non-empty
+            raise RuntimeError("eviction requested on empty cache")
+        blk, age, is_master = victim
+        was_dirty = cache.is_dirty(blk)
+        cache.remove(blk)
+        self.counters.incr("evictions")
+        if not is_master:
+            self.counters.incr("evict_drop_nonmaster")
+            return
+        if not self.config.forward_on_evict:
+            self._drop_master(node_id, blk, was_dirty)
+            return
+        target = self._oldest_peer(node_id, age)
+        if target is None:
+            # Globally oldest: drop, master leaves cluster memory.
+            self._drop_master(node_id, blk, was_dirty)
+            return
+        # Optimistic instantaneous directory: point at the destination
+        # as soon as the block is in flight.
+        self.directory.set_master(blk, target)
+        self.counters.incr("forwards")
+        self.sim.process(
+            self._forward_master(node_id, target, blk, age, dirty=was_dirty)
+        )
+
+    def _drop_master(self, node_id: int, blk: BlockId, dirty: bool) -> None:
+        """A master leaves cluster memory; flush it first if dirty."""
+        self.counters.incr("evict_drop_master")
+        self.directory.clear_master(blk)
+        if dirty:
+            self.sim.process(self._writeback_evicted(node_id, [blk]))
+
+    def _writeback_evicted(
+        self, node_id: int, blocks: List[BlockId]
+    ) -> Generator[Event, object, None]:
+        """Asynchronously write evicted dirty blocks to their homes."""
+        node = self.cluster.nodes[node_id]
+        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        for blk in blocks:
+            by_home[self.homes.home_of(blk.file_id)].append(blk)
+        for home_id, blks in by_home.items():
+            home = self.cluster.nodes[home_id]
+            total_kb = sum(self.layout.block_size_kb(b) for b in blks)
+            if home_id != node_id:
+                yield from self.cluster.network.transfer(node, home, total_kb)
+            for run in self._runs(blks):
+                yield home.disk.submit(run)
+            self.counters.incr("flushed_blocks", len(blks))
+
+    def _oldest_peer(self, node_id: int, victim_age: float) -> Optional[int]:
+        """Peer holding the oldest block strictly older than the victim.
+
+        None means the victim is the globally oldest block (or there are
+        no peers) — per the paper, it is then simply dropped.
+        """
+        best_id: Optional[int] = None
+        best_age = victim_age
+        for cache in self.caches:
+            if cache.node_id == node_id:
+                continue
+            age = cache.oldest_age()
+            if age < best_age:
+                best_age = age
+                best_id = cache.node_id
+        return best_id
+
+    def _forward_master(
+        self, src_id: int, dst_id: int, blk: BlockId, age: float,
+        dirty: bool = False,
+    ) -> Generator[Event, object, None]:
+        """Ship an evicted master to the peer with the oldest block.
+
+        Properties the paper requires: (1) no cascaded evictions — the
+        destination unconditionally drops its own oldest block to make
+        room; (2) if everything at the destination is now younger than
+        the forwarded block, the forwarded block is dropped instead.
+        ``dirty`` travels with the copy; a dirty forward that gets
+        dropped anywhere is written back to the home disk instead of
+        losing data.
+        """
+        src = self.cluster.nodes[src_id]
+        dst = self.cluster.nodes[dst_id]
+        size_kb = self.layout.block_size_kb(blk)
+        yield from self.cluster.network.transfer(src, dst, size_kb)
+        # "Process an evicted master block" at the destination.
+        yield dst.cpu.submit(self.params.cpu.evicted_master_ms)
+
+        cache = self.caches[dst_id]
+        if self.directory.lookup(blk) != dst_id:
+            # While the block was in flight some node re-mastered it
+            # (e.g. re-read it from disk after a racing miss): this copy
+            # is stale; drop it rather than create a second master.  A
+            # re-mastered block was re-read from disk, so a stale dirty
+            # copy would carry *newer* data: flush it.
+            self.counters.incr("forward_stale")
+            if dirty:
+                self.sim.process(self._writeback_evicted(dst_id, [blk]))
+            return
+        if blk in cache:
+            # Destination already holds a replica: absorb master status.
+            if not cache.is_master(blk):
+                cache.promote_to_master(blk)
+            self.directory.set_master(blk, dst_id)
+            if dirty:
+                cache.mark_dirty(blk)
+            self.counters.incr("forward_merged")
+            return
+        if cache.oldest_age() >= age:
+            # Everything here is younger: the forwarded block is dropped.
+            self.counters.incr("forward_dropped")
+            if self.directory.lookup(blk) == dst_id:
+                self.directory.clear_master(blk)
+            if dirty:
+                self.sim.process(self._writeback_evicted(dst_id, [blk]))
+            return
+        if cache.is_full:
+            old_blk, _old_age, was_master = cache.oldest()  # type: ignore[misc]
+            displaced_dirty = cache.is_dirty(old_blk)
+            cache.remove(old_blk)
+            self.counters.incr("forward_displaced")
+            if was_master and self.directory.lookup(old_blk) == dst_id:
+                self.directory.clear_master(old_blk)
+            if displaced_dirty:
+                self.sim.process(self._writeback_evicted(dst_id, [old_blk]))
+        cache.insert(blk, master=True, age=age)
+        self.directory.set_master(blk, dst_id)
+        if dirty:
+            cache.mark_dirty(blk)
+        self.counters.incr("forward_installed")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def hit_rates(self) -> Dict[str, float]:
+        """Block-level local / remote / disk fractions (Figure 4)."""
+        c = self.counters
+        total = c.get("local_hit") + c.get("remote_hit") + c.get("disk_read")
+        if total == 0:
+            return {"local": 0.0, "remote": 0.0, "disk": 0.0, "total": 0.0}
+        return {
+            "local": c.get("local_hit") / total,
+            "remote": c.get("remote_hit") / total,
+            "disk": c.get("disk_read") / total,
+            "total": (c.get("local_hit") + c.get("remote_hit")) / total,
+        }
+
+    def resident_blocks(self) -> int:
+        """Blocks currently cached cluster-wide."""
+        return sum(len(c) for c in self.caches)
+
+    def check_invariants(self) -> None:
+        """Assert directory/cache consistency (tests and debugging).
+
+        * no cache exceeds its capacity;
+        * no block has two master copies;
+        * every resident master is recorded in the directory at its node.
+
+        A directory entry *may* point at a node not (yet) holding the
+        block — that is a master in flight (forward or disk reply); call
+        this at quiescent points (calendar drained) for the strict check
+        that every entry is backed by a resident master.
+        """
+        seen: Dict[BlockId, int] = {}
+        for cache in self.caches:
+            if len(cache) > cache.capacity_blocks:
+                raise AssertionError(f"cache {cache.node_id} over capacity")
+            for blk in list(cache._masters):  # noqa: SLF001 - invariant check
+                if blk in seen:
+                    raise AssertionError(
+                        f"{blk} mastered at both {seen[blk]} and {cache.node_id}"
+                    )
+                seen[blk] = cache.node_id
+        for blk, holder in seen.items():
+            recorded = self.directory.lookup(blk)
+            if recorded != holder:
+                raise AssertionError(
+                    f"master of {blk} resident at {holder} but directory "
+                    f"says {recorded}"
+                )

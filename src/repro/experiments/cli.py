@@ -1,0 +1,73 @@
+"""Command-line entry point for the reproduction harness.
+
+Usage::
+
+    python -m repro.experiments.cli list
+    python -m repro.experiments.cli table1 table2
+    python -m repro.experiments.cli fig3 fig4
+    python -m repro.experiments.cli a4 a6
+    python -m repro.experiments.cli all          # everything (minutes)
+
+Workload scale is controlled by the usual environment knobs
+(``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
+``REPRO_FULL``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from . import ablations, defaults, figures, tables
+from .report import banner
+
+__all__ = ["ARTIFACTS", "main"]
+
+#: artifact name -> zero-argument renderer.
+ARTIFACTS: Dict[str, Callable[[], str]] = {
+    "table1": tables.render_table1,
+    "table2": tables.render_table2,
+    "fig1": figures.render_fig1,
+    "fig2": figures.render_fig2,
+    "fig3": figures.render_fig3,
+    "fig4": figures.render_fig4,
+    "fig5": figures.render_fig5,
+    "fig6a": figures.render_fig6a,
+    "fig6b": figures.render_fig6b,
+    "a1": ablations.render_a1,
+    "a2": ablations.render_a2,
+    "a3": ablations.render_a3,
+    "a4": ablations.render_a4,
+    "a5": ablations.render_a5,
+    "a6": ablations.render_a6,
+    "a7": ablations.render_a7,
+    "a8": ablations.render_a8,
+    "a9": ablations.render_a9,
+}
+
+
+def main(argv=None) -> int:
+    """Render the requested artifacts to stdout; returns an exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"]:
+        print(__doc__)
+        print("artifacts:", " ".join(ARTIFACTS))
+        print(f"scale={defaults.SCALE:g} requests={defaults.NUM_REQUESTS} "
+              f"clients={defaults.NUM_CLIENTS}")
+        return 0
+    if args == ["all"]:
+        args = list(ARTIFACTS)
+    unknown = [a for a in args if a not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {' '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {' '.join(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    for name in args:
+        print(banner(name))
+        print(ARTIFACTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

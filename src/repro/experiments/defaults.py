@@ -1,0 +1,66 @@
+"""Shared experiment defaults and the scale-down machinery.
+
+A full-size paper point (a 500k-2.5M request trace over a 140-790 MB file
+set) is too slow for a pure-Python event simulator to sweep hundreds of
+times, so by default every experiment runs a **scaled** workload: file
+count and request count shrink by ``SCALE`` while per-file sizes, the
+popularity shape and — crucially — the *memory-to-working-set ratio* stay
+fixed (per-node memory shrinks by the same factor).  The paper's x-axis
+"4-512 MB per node" therefore maps onto the same cache-pressure regimes.
+
+Environment overrides::
+
+    REPRO_SCALE=0.1        # workload scale factor (default 0.02)
+    REPRO_REQUESTS=50000   # trace length (default 10000)
+    REPRO_CLIENTS=256      # closed-loop client population (default 96)
+    REPRO_FULL=1           # scale 1.0 and full trace lengths (slow!)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+__all__ = [
+    "SCALE",
+    "NUM_REQUESTS",
+    "NUM_CLIENTS",
+    "PAPER_MEMORY_MB",
+    "memory_points_mb",
+    "workload",
+]
+
+#: The paper's per-node memory x-axis (MB), Figure 2.
+PAPER_MEMORY_MB: List[float] = [4, 8, 16, 32, 64, 128, 256, 512]
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+if os.environ.get("REPRO_FULL"):
+    SCALE: float = 1.0
+    NUM_REQUESTS: int = 0  # 0 = the spec's full request count
+else:
+    SCALE = _env_float("REPRO_SCALE", 0.02)
+    NUM_REQUESTS = _env_int("REPRO_REQUESTS", 10_000)
+
+NUM_CLIENTS: int = _env_int("REPRO_CLIENTS", 96)
+
+
+def memory_points_mb(points=None) -> List[float]:
+    """The paper's memory axis, scaled to the active workload scale."""
+    return [m * SCALE for m in (points or PAPER_MEMORY_MB)]
+
+
+def workload(name: str):
+    """Load trace ``name`` at the active scale."""
+    from ..traces.datasets import scaled
+
+    return scaled(name, SCALE, num_requests=NUM_REQUESTS)

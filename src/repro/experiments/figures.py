@@ -1,0 +1,457 @@
+"""Reproduction of every figure in the paper's evaluation section.
+
+Each ``figN`` function runs the simulations and returns structured data;
+the matching ``render_figN`` formats it as the rows/series the paper
+plots.  Figures index into DESIGN.md §3; paper-vs-measured is recorded in
+EXPERIMENTS.md.
+
+All experiments honour the scale-down machinery in
+:mod:`repro.experiments.defaults` (``REPRO_SCALE`` / ``REPRO_FULL``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..traces.analysis import popularity_cdf, theoretical_max_hit_rate
+from ..traces.datasets import TRACE_NAMES
+from . import defaults
+from .charts import line_chart
+from .report import format_table
+from .sweep import memory_sweep, node_sweep
+
+__all__ = [
+    "fig1", "render_fig1",
+    "fig2", "render_fig2",
+    "fig3", "render_fig3",
+    "fig4", "render_fig4",
+    "fig5", "render_fig5",
+    "fig6a", "render_fig6a",
+    "fig6b", "render_fig6b",
+    "CC_VARIANTS", "ALL_SYSTEMS",
+]
+
+#: The middleware curves of Figure 2, paper order.
+CC_VARIANTS = ["cc-basic", "cc-sched", "cc-kmc"]
+#: All four curves of Figure 2.
+ALL_SYSTEMS = ["press"] + CC_VARIANTS
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: trace popularity/size CDF
+# ---------------------------------------------------------------------------
+def fig1(trace_name: str = "rutgers", points: int = 20) -> Dict[str, list]:
+    """Figure 1: cumulative request fraction and cumulative file-set size
+    vs files sorted by request frequency (Rutgers in the paper).
+
+    Returns ``points`` samples along the (normalized) file axis plus the
+    paper's anchor: the MB needed to cover 99% of requests.
+    """
+    trace = defaults.workload(trace_name)
+    cum_req, cum_mb = popularity_cdf(trace)
+    n = len(cum_req)
+    idxs = np.unique(
+        np.clip((np.linspace(0.0, 1.0, points) * (n - 1)).astype(int), 0, n - 1)
+    )
+    from ..traces.analysis import bytes_for_request_fraction
+
+    return {
+        "trace": trace_name,
+        "file_fraction": [float(i / (n - 1) if n > 1 else 1.0) for i in idxs],
+        "cum_request_fraction": [float(cum_req[i]) for i in idxs],
+        "cum_size_mb": [float(cum_mb[i]) for i in idxs],
+        "file_set_mb": trace.file_set_mb,
+        "mb_for_99pct": bytes_for_request_fraction(trace, 0.99),
+    }
+
+
+def render_fig1(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 1."""
+    data = data or fig1()
+    rows = [
+        [ff, cr, mb]
+        for ff, cr, mb in zip(
+            data["file_fraction"],
+            data["cum_request_fraction"],
+            data["cum_size_mb"],
+        )
+    ]
+    table = format_table(
+        ["Files (frac, by popularity)", "Cum. requests (frac)", "Cum. size (MB)"],
+        rows,
+        title=f"Figure 1: {data['trace']} trace CDF",
+        ndigits=3,
+    )
+    anchor = (
+        f"\n99% of requests covered by {data['mb_for_99pct']:.1f} MB "
+        f"of {data['file_set_mb']:.1f} MB total "
+        f"(paper, full scale: 494 of 789 MB)"
+    )
+    return table + anchor
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: throughput, 8 nodes, all traces, all systems
+# ---------------------------------------------------------------------------
+def fig2(
+    trace_names: Optional[Sequence[str]] = None,
+    num_nodes: int = 8,
+    memories_mb: Optional[Sequence[float]] = None,
+) -> Dict[str, dict]:
+    """Figure 2 (a-d): throughput of PRESS and the three middleware
+    variants vs per-node memory, one panel per trace."""
+    panels = {}
+    for name in trace_names or TRACE_NAMES:
+        trace = defaults.workload(name)
+        sweep = memory_sweep(
+            trace, ALL_SYSTEMS, memories_mb=memories_mb, num_nodes=num_nodes
+        )
+        mems = [r.config.mem_mb_per_node for r in next(iter(sweep.values()))]
+        panels[name] = {
+            "memories_mb": mems,
+            "throughput_rps": {
+                sys_name: [r.throughput_rps for r in results]
+                for sys_name, results in sweep.items()
+            },
+        }
+    return panels
+
+
+def render_fig2(data: Optional[dict] = None, **kw) -> str:
+    """Print-ready Figure 2."""
+    data = data or fig2(**kw)
+    parts = []
+    for name, panel in data.items():
+        rows = []
+        for i, mem in enumerate(panel["memories_mb"]):
+            rows.append(
+                [f"{mem:g}"]
+                + [panel["throughput_rps"][s][i] for s in ALL_SYSTEMS]
+            )
+        parts.append(
+            format_table(
+                ["Mem/node (MB)"] + [s for s in ALL_SYSTEMS],
+                rows,
+                title=f"Figure 2: throughput (req/s), {name}, 8 nodes",
+                ndigits=0,
+            )
+        )
+        parts.append(
+            line_chart(
+                panel["memories_mb"],
+                {s: panel["throughput_rps"][s] for s in ALL_SYSTEMS},
+                y_label="req/s",
+                x_label="MB/node",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: CC throughput normalized to PRESS
+# ---------------------------------------------------------------------------
+#: The paper's two representative panels: (trace, cluster size).
+FIG3_PANELS = [("calgary", 4), ("rutgers", 8)]
+
+
+def fig3(
+    panels: Optional[Sequence] = None,
+    memories_mb: Optional[Sequence[float]] = None,
+) -> Dict[str, dict]:
+    """Figure 3: middleware throughput normalized against PRESS.
+
+    The headline result: the KMC variant achieves >80% of PRESS almost
+    everywhere and >90% or parity in most cases.
+    """
+    out = {}
+    for name, nodes in panels or FIG3_PANELS:
+        trace = defaults.workload(name)
+        sweep = memory_sweep(
+            trace, ALL_SYSTEMS, memories_mb=memories_mb, num_nodes=nodes
+        )
+        press = [r.throughput_rps for r in sweep["press"]]
+        mems = [r.config.mem_mb_per_node for r in sweep["press"]]
+        out[f"{name}-{nodes}nodes"] = {
+            "memories_mb": mems,
+            "normalized": {
+                s: [
+                    (r.throughput_rps / p if p > 0 else 0.0)
+                    for r, p in zip(sweep[s], press)
+                ]
+                for s in CC_VARIANTS
+            },
+        }
+    return out
+
+
+def render_fig3(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 3."""
+    data = data or fig3()
+    parts = []
+    for panel_name, panel in data.items():
+        rows = [
+            [mem] + [panel["normalized"][s][i] for s in CC_VARIANTS]
+            for i, mem in enumerate(panel["memories_mb"])
+        ]
+        parts.append(
+            format_table(
+                ["Mem/node (MB)"] + CC_VARIANTS,
+                rows,
+                title=f"Figure 3: throughput normalized to PRESS, {panel_name}",
+            )
+        )
+        parts.append(
+            line_chart(
+                panel["memories_mb"],
+                {s: panel["normalized"][s] for s in CC_VARIANTS},
+                y_label="x PRESS",
+                x_label="MB/node",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: hit rates (Rutgers, 8 nodes)
+# ---------------------------------------------------------------------------
+def fig4(
+    trace_name: str = "rutgers",
+    num_nodes: int = 8,
+    memories_mb: Optional[Sequence[float]] = None,
+) -> dict:
+    """Figure 4: total hit rate of CC-Basic, CC-KMC and PRESS, plus the
+    local/remote split and the theoretical maximum."""
+    trace = defaults.workload(trace_name)
+    systems = ["cc-basic", "cc-kmc", "press"]
+    sweep = memory_sweep(
+        trace, systems, memories_mb=memories_mb, num_nodes=num_nodes
+    )
+    mems = [r.config.mem_mb_per_node for r in sweep["press"]]
+    return {
+        "trace": trace_name,
+        "memories_mb": mems,
+        "hit_rates": {
+            s: {
+                "total": [r.hit_rates["total"] for r in results],
+                "local": [r.hit_rates["local"] for r in results],
+                "remote": [r.hit_rates["remote"] for r in results],
+            }
+            for s, results in sweep.items()
+        },
+        "theoretical_max": [
+            theoretical_max_hit_rate(trace, mem * num_nodes) for mem in mems
+        ],
+    }
+
+
+def render_fig4(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 4."""
+    data = data or fig4()
+    rows = []
+    hr = data["hit_rates"]
+    for i, mem in enumerate(data["memories_mb"]):
+        rows.append(
+            [
+                mem,
+                hr["cc-basic"]["total"][i],
+                hr["cc-kmc"]["total"][i],
+                hr["cc-kmc"]["local"][i],
+                hr["cc-kmc"]["remote"][i],
+                hr["press"]["total"][i],
+                data["theoretical_max"][i],
+            ]
+        )
+    table = format_table(
+        ["Mem/node (MB)", "cc-basic", "cc-kmc", "(local)", "(remote)",
+         "press", "max possible"],
+        rows,
+        title=f"Figure 4: hit rates, {data['trace']}, 8 nodes",
+    )
+    chart = line_chart(
+        data["memories_mb"],
+        {
+            "cc-basic": hr["cc-basic"]["total"],
+            "cc-kmc": hr["cc-kmc"]["total"],
+            "press": hr["press"]["total"],
+            "max": data["theoretical_max"],
+        },
+        y_label="hit rate",
+        x_label="MB/node",
+    )
+    return table + "\n\n" + chart
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: mean response time normalized to PRESS
+# ---------------------------------------------------------------------------
+def fig5(
+    panels: Optional[Sequence] = None,
+    memories_mb: Optional[Sequence[float]] = None,
+) -> Dict[str, dict]:
+    """Figure 5: middleware mean response time normalized against PRESS
+    (the paper reports CC 5-10% worse; absolute times 2-3 ms wall)."""
+    out = {}
+    for name, nodes in panels or FIG3_PANELS:
+        trace = defaults.workload(name)
+        sweep = memory_sweep(
+            trace, ALL_SYSTEMS, memories_mb=memories_mb, num_nodes=nodes
+        )
+        press = [r.mean_response_ms for r in sweep["press"]]
+        mems = [r.config.mem_mb_per_node for r in sweep["press"]]
+        out[f"{name}-{nodes}nodes"] = {
+            "memories_mb": mems,
+            "normalized": {
+                s: [
+                    (r.mean_response_ms / p if p > 0 else 0.0)
+                    for r, p in zip(sweep[s], press)
+                ]
+                for s in CC_VARIANTS
+            },
+            "press_ms": press,
+        }
+    return out
+
+
+def render_fig5(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 5."""
+    data = data or fig5()
+    parts = []
+    for panel_name, panel in data.items():
+        rows = [
+            [mem]
+            + [panel["normalized"][s][i] for s in CC_VARIANTS]
+            + [panel["press_ms"][i]]
+            for i, mem in enumerate(panel["memories_mb"])
+        ]
+        parts.append(
+            format_table(
+                ["Mem/node (MB)"] + CC_VARIANTS + ["press (ms)"],
+                rows,
+                title=(
+                    "Figure 5: mean response time normalized to PRESS, "
+                    f"{panel_name}"
+                ),
+            )
+        )
+        parts.append(
+            line_chart(
+                panel["memories_mb"],
+                {s: panel["normalized"][s] for s in CC_VARIANTS},
+                y_label="x PRESS",
+                x_label="MB/node",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6a: resource utilization (CC-KMC, Rutgers, 8 nodes)
+# ---------------------------------------------------------------------------
+def fig6a(
+    trace_name: str = "rutgers",
+    num_nodes: int = 8,
+    memories_mb: Optional[Sequence[float]] = None,
+) -> dict:
+    """Figure 6a: CC-KMC's disk/CPU/NIC utilization vs per-node memory."""
+    trace = defaults.workload(trace_name)
+    sweep = memory_sweep(
+        trace, ["cc-kmc"], memories_mb=memories_mb, num_nodes=num_nodes
+    )
+    results = sweep["cc-kmc"]
+    return {
+        "trace": trace_name,
+        "memories_mb": [r.config.mem_mb_per_node for r in results],
+        "utilization": {
+            res: [r.workload.utilization[res] for r in results]
+            for res in ("disk", "cpu", "nic")
+        },
+        "max_disk": [r.workload.max_utilization["disk"] for r in results],
+    }
+
+
+def render_fig6a(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 6a."""
+    data = data or fig6a()
+    rows = [
+        [
+            mem,
+            data["utilization"]["disk"][i],
+            data["max_disk"][i],
+            data["utilization"]["cpu"][i],
+            data["utilization"]["nic"][i],
+        ]
+        for i, mem in enumerate(data["memories_mb"])
+    ]
+    table = format_table(
+        ["Mem/node (MB)", "disk", "disk (max node)", "cpu", "nic"],
+        rows,
+        title=(
+            f"Figure 6a: CC-KMC resource utilization, {data['trace']}, 8 nodes"
+        ),
+    )
+    chart = line_chart(
+        data["memories_mb"],
+        dict(data["utilization"]),
+        y_label="utilization",
+        x_label="MB/node",
+    )
+    return table + "\n\n" + chart
+
+
+# ---------------------------------------------------------------------------
+# Figure 6b: scalability (CC-KMC, Rutgers, 32 MB/node)
+# ---------------------------------------------------------------------------
+def fig6b(
+    trace_name: str = "rutgers",
+    node_counts: Sequence[int] = (4, 8, 16, 32),
+    mem_mb_per_node: Optional[float] = None,
+) -> dict:
+    """Figure 6b: CC-KMC throughput vs cluster size at 32 MB/node
+    (scaled).  The paper reports near-linear scaling to 32 nodes."""
+    trace = defaults.workload(trace_name)
+    mem = (
+        mem_mb_per_node
+        if mem_mb_per_node is not None
+        else 32.0 * defaults.SCALE
+    )
+    results = node_sweep(trace, "cc-kmc", node_counts, mem)
+    return {
+        "trace": trace_name,
+        "mem_mb_per_node": mem,
+        "node_counts": list(node_counts),
+        "throughput_rps": [r.throughput_rps for r in results],
+        "hit_rates": [r.hit_rates["total"] for r in results],
+    }
+
+
+def render_fig6b(data: Optional[dict] = None) -> str:
+    """Print-ready Figure 6b."""
+    data = data or fig6b()
+    base = data["throughput_rps"][0] or 1.0
+    base_nodes = data["node_counts"][0]
+    rows = [
+        [
+            n,
+            data["throughput_rps"][i],
+            data["throughput_rps"][i] / base * base_nodes,
+            data["hit_rates"][i],
+        ]
+        for i, n in enumerate(data["node_counts"])
+    ]
+    table = format_table(
+        ["Nodes", "Throughput (req/s)", "Speedup x base nodes", "Hit rate"],
+        rows,
+        title=(
+            f"Figure 6b: CC-KMC scalability, {data['trace']}, "
+            f"{data['mem_mb_per_node']:g} MB/node"
+        ),
+    )
+    chart = line_chart(
+        data["node_counts"],
+        {"throughput": data["throughput_rps"]},
+        y_label="req/s",
+        x_label="nodes",
+    )
+    return table + "\n\n" + chart

@@ -1,0 +1,151 @@
+"""Single-experiment runner: one (system, trace, cluster, memory) point.
+
+Everything in :mod:`repro.experiments` boils down to calling
+:func:`run_experiment` over a sweep and formatting the results.  A
+*system* is one of:
+
+* ``"press"`` — the locality-conscious baseline;
+* ``"cc-basic"`` / ``"cc-sched"`` / ``"cc-kmc"`` — the middleware
+  variants (paper Figure 2's four curves);
+* any :class:`~repro.core.CoopCacheConfig` instance — ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from ..cache.block import FileLayout
+from ..cache.directory import HomeMap
+from ..cluster.cluster import Cluster
+from ..cluster.disk import SCAN
+from ..core.api import blocks_for_mb
+from ..core.config import CoopCacheConfig, variant
+from ..core.hints import HintDirectory
+from ..core.middleware import CoopCacheLayer
+from ..params import DEFAULT_PARAMS, SimParams
+from ..press.server import PressServer
+from ..sim.engine import Simulator
+from ..sim.rng import stream
+from ..traces.model import Trace
+from ..web.client import ClosedLoopDriver, WorkloadResult
+from ..web.server import CoopCacheWebServer
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "SYSTEMS"]
+
+#: Named systems accepted by :class:`ExperimentConfig`.
+SYSTEMS = ("press", "cc-basic", "cc-sched", "cc-kmc")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One simulation point."""
+
+    system: Union[str, CoopCacheConfig]
+    trace: Trace
+    num_nodes: int = 8
+    #: Per-node memory (MB) — the paper's x-axis (4-512 MB).
+    mem_mb_per_node: float = 32.0
+    num_clients: int = 64
+    warmup_frac: float = 0.25
+    params: SimParams = field(default_factory=lambda: DEFAULT_PARAMS)
+    home_strategy: str = "round_robin"
+    seed: int = 0
+
+    def system_name(self) -> str:
+        """Printable system label."""
+        if isinstance(self.system, str):
+            return self.system
+        return f"cc[{self.system.policy}]"
+
+
+@dataclass
+class ExperimentResult:
+    """Steady-state output of one point."""
+
+    config: ExperimentConfig
+    workload: WorkloadResult
+    #: Block-weighted local/remote/disk/total hit fractions (Figure 4).
+    hit_rates: Dict[str, float]
+    #: Raw protocol counters for deeper analysis.
+    counters: Dict[str, int]
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second in the measurement window."""
+        return self.workload.throughput_rps
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean response time (ms) in the measurement window."""
+        return self.workload.mean_response_ms
+
+
+def _build_cc(
+    cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig
+):
+    cluster = Cluster(
+        sim, cfg.params, cfg.num_nodes, disk_discipline=config.disk_discipline
+    )
+    layout = FileLayout(cfg.trace.sizes_kb, cfg.params)
+    homes = HomeMap(layout.num_files, cfg.num_nodes, cfg.home_strategy)
+    directory = None
+    if config.directory == "hints":
+        directory = HintDirectory(
+            config.hint_accuracy, cfg.num_nodes, stream(cfg.seed, "hints")
+        )
+    layer = CoopCacheLayer(
+        cluster,
+        layout,
+        homes,
+        capacity_blocks=blocks_for_mb(cfg.mem_mb_per_node, cfg.params),
+        config=config,
+        directory=directory,
+    )
+    return cluster, CoopCacheWebServer(layer)
+
+
+def _build_press(cfg: ExperimentConfig, sim: Simulator):
+    # PRESS always schedules its disk queue (it is the tuned baseline).
+    cluster = Cluster(sim, cfg.params, cfg.num_nodes, disk_discipline=SCAN)
+    layout = FileLayout(cfg.trace.sizes_kb, cfg.params)
+    server = PressServer(
+        cluster, layout, capacity_kb=cfg.mem_mb_per_node * 1024.0
+    )
+    return cluster, server
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Simulate one point and return its steady-state measurements."""
+    sim = Simulator()
+    if isinstance(cfg.system, CoopCacheConfig):
+        cluster, service = _build_cc(cfg, sim, cfg.system)
+    elif cfg.system == "press":
+        cluster, service = _build_press(cfg, sim)
+    elif cfg.system in SYSTEMS:
+        cluster, service = _build_cc(cfg, sim, variant(cfg.system))
+    else:
+        raise ValueError(
+            f"unknown system {cfg.system!r}; choose from {SYSTEMS} "
+            "or pass a CoopCacheConfig"
+        )
+
+    driver = ClosedLoopDriver(
+        sim,
+        cluster,
+        service,
+        cfg.trace,
+        num_clients=cfg.num_clients,
+        warmup_frac=cfg.warmup_frac,
+    )
+    workload = driver.run()
+    return ExperimentResult(
+        config=cfg,
+        workload=workload,
+        hit_rates=service.hit_rates(),
+        counters=(
+            service.counters.as_dict()
+            if hasattr(service, "counters")
+            else service.layer.counters.as_dict()
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Parameter sweeps over :func:`repro.experiments.runner.run_experiment`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..core.config import CoopCacheConfig
+from ..params import DEFAULT_PARAMS, SimParams
+from ..traces.model import Trace
+from . import defaults
+from .runner import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["memory_sweep", "node_sweep"]
+
+System = Union[str, CoopCacheConfig]
+
+
+def memory_sweep(
+    trace: Trace,
+    systems: Sequence[System],
+    memories_mb: Optional[Sequence[float]] = None,
+    num_nodes: int = 8,
+    num_clients: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+    home_strategy: str = "round_robin",
+) -> Dict[str, List[ExperimentResult]]:
+    """Run every system at every per-node memory size.
+
+    Returns ``{system_label: [result per memory point]}`` with the points
+    in the order given (default: the paper's 4-512 MB axis, scaled).
+    """
+    memories = list(memories_mb if memories_mb is not None
+                    else defaults.memory_points_mb())
+    clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
+    out: Dict[str, List[ExperimentResult]] = {}
+    for system in systems:
+        label = system if isinstance(system, str) else system_label(system)
+        results = []
+        for mem in memories:
+            cfg = ExperimentConfig(
+                system=system,
+                trace=trace,
+                num_nodes=num_nodes,
+                mem_mb_per_node=mem,
+                num_clients=clients,
+                params=params,
+                home_strategy=home_strategy,
+            )
+            results.append(run_experiment(cfg))
+        out[label] = results
+    return out
+
+
+def node_sweep(
+    trace: Trace,
+    system: System,
+    node_counts: Iterable[int],
+    mem_mb_per_node: float,
+    num_clients: Optional[int] = None,
+    params: SimParams = DEFAULT_PARAMS,
+) -> List[ExperimentResult]:
+    """Run one system across cluster sizes (Figure 6b)."""
+    clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
+    results = []
+    for n in node_counts:
+        cfg = ExperimentConfig(
+            system=system,
+            trace=trace,
+            num_nodes=n,
+            mem_mb_per_node=mem_mb_per_node,
+            num_clients=clients,
+            params=params,
+        )
+        results.append(run_experiment(cfg))
+    return results
+
+
+def system_label(config: CoopCacheConfig) -> str:
+    """A stable display label for an ad-hoc middleware configuration."""
+    bits = [config.policy, config.disk_discipline]
+    if not config.forward_on_evict:
+        bits.append("nofwd")
+    if config.directory == "hints":
+        bits.append(f"hints{config.hint_accuracy:g}")
+    return "cc[" + ",".join(bits) + "]"

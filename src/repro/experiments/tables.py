@@ -1,0 +1,88 @@
+"""Table 1 (simulation parameters) and Table 2 (trace characteristics)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..params import DEFAULT_PARAMS, SimParams
+from ..traces.analysis import table2_row
+from ..traces.datasets import TRACE_NAMES
+from . import defaults
+from .report import format_table
+
+__all__ = ["table1", "render_table1", "table2", "render_table2"]
+
+
+def table1(params: SimParams = DEFAULT_PARAMS) -> List[List[str]]:
+    """Table 1 rows: (event, modeled time) — the reconstructed constants.
+
+    Formulas are printed symbolically the way the paper does ("Size" in
+    KB, "NBlocks" in blocks).
+    """
+    cpu, disk, net, bus = params.cpu, params.disk, params.network, params.bus
+    return [
+        ["Request processing", ""],
+        ["  Parsing time", f"{cpu.parse_ms}ms"],
+        ["  Serving time",
+         f"{cpu.serve_fixed_ms} + (Size/{1/cpu.serve_per_kb_ms:.0f})ms"],
+        ["Block operations", ""],
+        ["  Process a file request",
+         f"{cpu.file_request_fixed_ms} + (NBlocks*{cpu.file_request_per_block_ms})ms"],
+        ["  Serve peer block request", f"{cpu.serve_peer_block_ms}ms"],
+        ["  Cache a new block", f"{cpu.cache_block_ms}ms"],
+        ["  Process an evicted master block", f"{cpu.evicted_master_ms}ms"],
+        ["Disk operations", ""],
+        ["  Disk reading time (non-contiguous)",
+         f"{disk.seek_ms} + {disk.metadata_seek_ms} + "
+         f"(Size/{1/disk.transfer_per_kb_ms:.0f})ms"],
+        ["  Disk reading time (contiguous)",
+         f"(Size/{1/disk.transfer_per_kb_ms:.0f})ms"],
+        ["Bus & network", ""],
+        ["  Bus transfer time",
+         f"{bus.per_transfer_ms} + (Size/{bus.bandwidth_kb_per_ms:.0f})ms"],
+        ["  Network latency", f"{net.latency_ms}ms"],
+        ["  NIC transfer time",
+         f"{net.per_message_ms} + (Size/{net.bandwidth_kb_per_ms:.0f})ms"],
+        ["  Router forwarding", f"{params.router.forward_ms}ms"],
+    ]
+
+
+def render_table1(params: SimParams = DEFAULT_PARAMS) -> str:
+    """Print-ready Table 1."""
+    return format_table(
+        ["Event", "Time (ms, Size in KB)"],
+        table1(params),
+        title="Table 1: Simulation parameters (reconstructed; see DESIGN.md)",
+    )
+
+
+def table2(names: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Table 2: characteristics of the four workloads at the active scale."""
+    rows = {}
+    for name in names or TRACE_NAMES:
+        rows[name] = table2_row(defaults.workload(name))
+    return rows
+
+
+def render_table2(names: Optional[List[str]] = None) -> str:
+    """Print-ready Table 2."""
+    data = table2(names)
+    rows = [
+        [
+            name,
+            int(row["num_files"]),
+            row["avg_file_kb"],
+            int(row["num_requests"]),
+            row["avg_request_kb"],
+            row["file_set_mb"],
+        ]
+        for name, row in data.items()
+    ]
+    return format_table(
+        ["Trace", "Num files", "Avg file KB", "Num requests",
+         "Avg req KB", "File set MB"],
+        rows,
+        title=(
+            f"Table 2: WWW trace characteristics (scale={defaults.SCALE:g})"
+        ),
+    )

@@ -1,0 +1,13 @@
+"""PRESS-like locality-conscious baseline (system S7 in DESIGN.md).
+
+* :class:`~repro.press.server.PressServer` — content- and load-aware
+  whole-file server.
+* :class:`~repro.press.filecache.FileCache` /
+  :class:`~repro.press.filecache.ReplicaDirectory` — whole-file caching
+  with de-replication.
+"""
+
+from .filecache import FileCache, ReplicaDirectory
+from .server import FORWARD_MSG_KB, PressServer
+
+__all__ = ["PressServer", "FileCache", "ReplicaDirectory", "FORWARD_MSG_KB"]

@@ -1,0 +1,290 @@
+"""PRESS: the locality-conscious baseline server.
+
+Our comparator is the paper's "highly optimized locality-conscious server
+that uses content- and load-aware distribution" [5] (Bianchini & Carrera's
+PRESS lineage).  Behaviour reproduced:
+
+* **Content-aware dispatch**: "tries to migrate all requests for a
+  particular file to a single node so that only one copy of each file is
+  kept in cluster memory."  A request arriving (via RR DNS) at node *n*
+  for file *f* is served at *n* if *n* caches *f*; otherwise it is
+  forwarded to the least-loaded node caching *f*; if no node caches *f*,
+  the least-loaded node reads it from its local disk (PRESS "assumes
+  files are replicated everywhere" on disk) and becomes *f*'s caching
+  node.
+* **Load-aware replication**: "If a node becomes overloaded, however,
+  [it] will replicate a subset of the files, sacrificing memory
+  efficiency for load balancing."  When the serving node's load exceeds
+  ``replicate_threshold`` and a much less loaded node exists, the file is
+  replicated there in the background.
+* **De-replication** lives in :class:`~repro.press.filecache.FileCache`.
+* **TCP hand-off**: forwarded requests are answered straight from the
+  serving node (the ~7% advantage the paper grants PRESS); setting
+  ``SimParams.press_tcp_handoff=False`` relays replies through the
+  entry node instead.
+
+Hit accounting is block-weighted (a hit on a 5-block file counts 5) so
+Figure 4 compares PRESS and the middleware on the same denominator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..cache.block import FileLayout
+from ..cluster.cluster import Cluster
+from ..cluster.disk import DiskRequest
+from ..cluster.node import Node
+from ..params import SimParams
+from ..sim.engine import Event
+from ..sim.stats import CounterSet
+from .filecache import FileCache, ReplicaDirectory
+
+__all__ = ["PressServer"]
+
+#: KB of an intra-cluster forward/handoff control message.
+FORWARD_MSG_KB = 0.2
+
+
+class PressServer:
+    """Whole-file, content- and load-aware clustered web server."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        layout: FileLayout,
+        capacity_kb: float,
+        replicate_threshold: int = 8,
+        replicate_headroom: int = 4,
+    ):
+        """``replicate_threshold``: serving-node load (queued jobs) above
+        which PRESS considers a file hot enough to replicate;
+        ``replicate_headroom``: minimum load gap to the replication
+        target (prevents replication storms between equally busy nodes).
+        """
+        if replicate_threshold < 1:
+            raise ValueError("replicate_threshold must be >= 1")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.params: SimParams = cluster.params
+        self.layout = layout
+        self.directory = ReplicaDirectory()
+        self.caches: List[FileCache] = [
+            FileCache(node.node_id, capacity_kb, self.directory)
+            for node in cluster.nodes
+        ]
+        self.replicate_threshold = replicate_threshold
+        self.replicate_headroom = replicate_headroom
+        self.counters = CounterSet()
+        # file_id -> (adopting node id, completion event): requests for a
+        # file already being read from disk queue at the adopting node
+        # instead of issuing duplicate reads (PRESS funnels all requests
+        # for a file to one node, so concurrent misses pile up there).
+        self._adopting: dict = {}
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
+        """Coroutine: fully process one GET for ``file_id`` entering at
+        ``node`` (the RR-DNS choice).
+
+        Returns the request's service class ("local" / "remote" /
+        "coalesced" / "disk") for per-class response accounting.
+        """
+        cpu = self.params.cpu
+        yield node.cpu.submit(cpu.parse_ms)
+
+        nblocks = self.layout.num_blocks(file_id)
+        holders = self.directory.holders(file_id)
+
+        if node.node_id in holders:
+            self.counters.incr("local_hit", nblocks)
+            yield from self._serve_from_memory(node, node, file_id)
+            return "local"
+
+        if holders:
+            target = self.cluster.nodes[self._least_loaded(holders)]
+            self.counters.incr("remote_hit", nblocks)
+            self.counters.incr("forwarded_requests")
+            yield from self._forward_and_serve(node, target, file_id,
+                                               from_disk=False)
+            return "remote"
+
+        pending = self._adopting.get(file_id)
+        if pending is not None:
+            # Another request is already pulling this file off disk: queue
+            # at the adopting node and serve once the read lands.
+            target_id, done = pending
+            self.counters.incr("coalesced", nblocks)
+            target = self.cluster.nodes[target_id]
+            if target_id != node.node_id:
+                self.counters.incr("forwarded_requests")
+                yield node.cpu.submit(cpu.forward_request_ms)
+                yield from self.cluster.network.transfer(
+                    node, target, FORWARD_MSG_KB
+                )
+            if not done.processed:
+                yield done
+            reply_via = target if self.params.press_tcp_handoff else node
+            yield from self._serve_from_memory(target, reply_via, file_id)
+            return "coalesced"
+
+        # Cached nowhere: the least-loaded node reads it from its local disk
+        # (files are replicated on every node's disk) and adopts the file.
+        target_id = self._least_loaded(range(len(self.cluster)))
+        self.counters.incr("disk_read", nblocks)
+        if target_id == node.node_id:
+            yield from self._read_from_disk(node, file_id)
+            yield from self._serve_from_memory(node, node, file_id)
+        else:
+            self.counters.incr("forwarded_requests")
+            yield from self._forward_and_serve(
+                node, self.cluster.nodes[target_id], file_id, from_disk=True
+            )
+        return "disk"
+
+    def _forward_and_serve(
+        self, entry: Node, target: Node, file_id: int, *, from_disk: bool
+    ) -> Generator[Event, object, None]:
+        """Hand the request from ``entry`` to ``target`` and serve it."""
+        cpu = self.params.cpu
+        yield entry.cpu.submit(cpu.forward_request_ms)
+        yield from self.cluster.network.transfer(entry, target, FORWARD_MSG_KB)
+        if from_disk:
+            yield from self._read_from_disk(target, file_id)
+        if self.params.press_tcp_handoff:
+            # Hand-off: the reply leaves the serving node directly.
+            yield from self._serve_from_memory(target, target, file_id)
+        else:
+            # Relay: serving node sends to the entry node, which replies.
+            yield from self._serve_from_memory(target, entry, file_id)
+
+    # ------------------------------------------------------------------
+    # data paths
+    # ------------------------------------------------------------------
+    def _serve_from_memory(
+        self, server: Node, reply_via: Node, file_id: int
+    ) -> Generator[Event, object, None]:
+        """Serve a resident file and consider replication."""
+        cache = self.caches[server.node_id]
+        if file_id in cache:
+            cache.touch(file_id)
+        size_kb = self.layout.size_kb(file_id)
+        yield server.cpu.submit(self.params.cpu.serve_ms(size_kb))
+        if reply_via.node_id != server.node_id:
+            yield from self.cluster.network.transfer(server, reply_via, size_kb)
+            yield reply_via.cpu.submit(self.params.cpu.forward_request_ms)
+        yield reply_via.nic.submit(self.params.network.transfer_ms(size_kb))
+        self._maybe_replicate(server, file_id)
+
+    def _read_from_disk(
+        self, node: Node, file_id: int
+    ) -> Generator[Event, object, None]:
+        """Whole-file read from ``node``'s local disk + cache adoption."""
+        done = self.sim.event()
+        self._adopting[file_id] = (node.node_id, done)
+        try:
+            size_kb = self.layout.size_kb(file_id)
+            runs = self._extent_runs(file_id)
+            yield self.sim.all_of([node.disk.submit(run) for run in runs])
+            yield node.bus.submit(self.params.bus.transfer_ms(size_kb))
+            self._cache_file(node.node_id, file_id)
+        finally:
+            self._adopting.pop(file_id, None)
+            done.succeed()
+
+    def _extent_runs(self, file_id: int) -> List[DiskRequest]:
+        """One disk request per 64 KB extent of the file."""
+        params = self.params
+        size_kb = self.layout.size_kb(file_id)
+        blocks_per_extent = params.extent_kb // params.block_kb
+        runs = []
+        remaining = size_kb
+        nblocks = self.layout.num_blocks(file_id)
+        for ext in range(self.layout.num_extents(file_id)):
+            chunk = min(remaining, float(params.extent_kb))
+            start_block = ext * blocks_per_extent
+            run_blocks = min(blocks_per_extent, nblocks - start_block)
+            runs.append(
+                DiskRequest(file_id, ext, start_block, run_blocks, chunk)
+            )
+            remaining -= chunk
+        return runs
+
+    def _cache_file(self, node_id: int, file_id: int) -> None:
+        """Adopt a file into a node's memory (if it can ever fit)."""
+        cache = self.caches[node_id]
+        if file_id in cache:
+            cache.touch(file_id)
+            return
+        size_kb = self.layout.size_kb(file_id)
+        if not cache.fits(size_kb):
+            self.counters.incr("uncacheable")
+            return
+        evicted = cache.insert(file_id, size_kb)
+        self.counters.incr("evictions", len(evicted))
+
+    # ------------------------------------------------------------------
+    # load management
+    # ------------------------------------------------------------------
+    def _least_loaded(self, node_ids) -> int:
+        """Lowest-load node id (ties break to the lowest id)."""
+        return min(node_ids, key=lambda i: (self.cluster.nodes[i].load, i))
+
+    def _maybe_replicate(self, server: Node, file_id: int) -> None:
+        """Load-aware replication of a hot file off an overloaded node."""
+        if server.load < self.replicate_threshold:
+            return
+        candidates = [
+            n.node_id
+            for n in self.cluster.nodes
+            if n.node_id not in self.directory.holders(file_id)
+        ]
+        if not candidates:
+            return
+        target_id = self._least_loaded(candidates)
+        if self.cluster.nodes[target_id].load > server.load - self.replicate_headroom:
+            return
+        size_kb = self.layout.size_kb(file_id)
+        if not self.caches[target_id].fits(size_kb):
+            return
+        self.counters.incr("replications")
+        self.sim.process(self._replicate(server, target_id, file_id))
+
+    def _replicate(
+        self, src: Node, dst_id: int, file_id: int
+    ) -> Generator[Event, object, None]:
+        """Background copy of a hot file to a lightly loaded node."""
+        dst = self.cluster.nodes[dst_id]
+        size_kb = self.layout.size_kb(file_id)
+        yield src.cpu.submit(self.params.cpu.serve_peer_block_ms)
+        yield from self.cluster.network.transfer(src, dst, size_kb)
+        yield dst.cpu.submit(self.params.cpu.cache_block_ms
+                             * self.layout.num_blocks(file_id))
+        if file_id not in self.caches[dst_id]:
+            self._cache_file(dst_id, file_id)
+
+    # ------------------------------------------------------------------
+    # measurement interface
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Discard warm-up counters (cache contents are kept)."""
+        self.counters.reset()
+
+    def hit_rates(self):
+        """Block-weighted hit fractions on the Figure 4 denominator."""
+        c = self.counters
+        total = c.get("local_hit") + c.get("remote_hit") + c.get("disk_read")
+        if total == 0:
+            return {"local": 0.0, "remote": 0.0, "disk": 0.0, "total": 0.0}
+        return {
+            "local": c.get("local_hit") / total,
+            "remote": c.get("remote_hit") / total,
+            "disk": c.get("disk_read") / total,
+            "total": (c.get("local_hit") + c.get("remote_hit")) / total,
+        }
+
+    def resident_files(self) -> int:
+        """Whole files currently in cluster memory (copies counted once)."""
+        return sum(1 for _ in self.directory.cached_files())

@@ -1,0 +1,329 @@
+"""Discrete-event simulation kernel.
+
+A compact, deterministic, generator-based kernel in the style the paper's
+simulator implies ("event driven ... hardware components as service centers
+with finite queues").  The design goals, in order:
+
+1. **Determinism** — events at equal timestamps fire in schedule order
+   (FIFO by a monotonically increasing sequence number), so every
+   experiment is reproducible bit-for-bit given a seed.
+2. **Readability** — request flows are written as Python generators that
+   ``yield`` events (:class:`Timeout`, service-center grants, or
+   combinators), which keeps multi-hop protocol code linear.
+3. **Speed** — the hot path is a single binary heap and plain function
+   calls; no reflection, no dynamic dispatch beyond one ``callbacks`` list.
+
+This is intentionally a small subset of a general-purpose DES library:
+exactly what the cluster model needs, nothing more.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and fires its callbacks when the kernel
+    processes it.  Events are single-use: triggering twice is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked as ``cb(event)`` when the event is processed.
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not have fired yet)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """False if the event was failed."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (or the failure exception)."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-ms."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._push(delay, self)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exc`` thrown."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.sim._push(delay, self)
+        return self
+
+    def _fire(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay (created already triggered)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._push(delay, self)
+
+
+class AllOf(Event):
+    """Fires when *all* child events have fired; value = list of values.
+
+    Used by nodes that fan out block fetches to several sources and resume
+    when the last reply arrives.  An empty iterable fires immediately.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._values: List[Any] = [None] * len(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            ev.callbacks.append(self._make_child_cb(i))
+
+    def _make_child_cb(self, index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            """Collect child event values; fire when the last lands."""
+            if not ev.ok:
+                if not self._triggered:
+                    self.fail(ev.value)
+                return
+            self._values[index] = ev.value
+            self._pending -= 1
+            if self._pending == 0 and not self._triggered:
+                self.succeed(self._values)
+
+        return cb
+
+
+class AnyOf(Event):
+    """Fires when the *first* child event fires; value = that event's value."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for ev in events:
+            ev.callbacks.append(self._child_cb)
+
+    def _child_cb(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.ok:
+            self.succeed(ev.value)
+        else:
+            self.fail(ev.value)
+
+
+class Process(Event):
+    """Drives a generator; itself an event that fires when the generator ends.
+
+    The generator yields :class:`Event` objects; the process resumes with
+    the event's value when it fires (or has the failure exception thrown
+    into it).  The process's own value is the generator's return value.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        self._gen = gen
+        # Bootstrap on the next kernel step so creation order == start order.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+
+    def _resume(self, ev: Event) -> None:
+        try:
+            if ev.ok:
+                target = self._gen.send(ev.value)
+            else:
+                target = self._gen.throw(ev.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate model bugs loudly
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target.processed:
+            # Already fired: resume on the next kernel step with its value.
+            imm = Event(self.sim)
+            imm.callbacks.append(self._resume)
+            if target.ok:
+                imm.succeed(target.value)
+            else:
+                imm.fail(target.value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, event)`` triples.
+
+    ``seq`` breaks timestamp ties in schedule order, which makes runs
+    deterministic regardless of heap internals.
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_event_count")
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Any] = []
+        self._seq = 0
+        self._event_count = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total events processed so far (for budget checks in tests)."""
+        return self._event_count
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a coroutine process; returns its completion event."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule a plain callback at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at into the past: {when} < {self._now}")
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        ev.succeed(None, delay=when - self._now)
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule a plain callback ``delay`` ms from now."""
+        return self.call_at(self._now + delay, fn, *args)
+
+    # -- kernel --------------------------------------------------------------
+    def _push(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._event_count += 1
+        event._fire()
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the calendar is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop: Optional[Event] = None,
+    ) -> None:
+        """Run until the calendar drains, ``until`` is reached, ``stop``
+        fires, or ``max_events`` more events have been processed.
+
+        ``until`` is exclusive in the usual DES sense: an event scheduled
+        exactly at ``until`` is *not* processed, and ``now`` is advanced to
+        ``until``.
+        """
+        budget = max_events if max_events is not None else -1
+        while self._heap:
+            if stop is not None and stop.processed:
+                return
+            if until is not None and self._heap[0][0] >= until:
+                self._now = until
+                return
+            if budget == 0:
+                return
+            self.step()
+            if budget > 0:
+                budget -= 1
+        if until is not None and until > self._now:
+            self._now = until

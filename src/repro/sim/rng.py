@@ -1,0 +1,50 @@
+"""Deterministic random-number streams.
+
+Every stochastic component gets its own independent stream derived from
+``(root_seed, *key)`` so that (a) runs are bit-for-bit reproducible and
+(b) changing the number of draws in one component never perturbs another
+— the standard discipline for comparative simulation studies (the same
+trace stream must hit CC-Basic and PRESS identically).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["stream", "derive_seed"]
+
+_Key = Union[int, str]
+
+
+def _key_to_int(key: _Key) -> int:
+    """Map a stream-key component to a stable 32-bit integer.
+
+    Strings hash via CRC32 (stable across processes and Python versions,
+    unlike ``hash``).
+    """
+    if isinstance(key, bool):  # bool is an int subclass; be explicit
+        return int(key)
+    if isinstance(key, int):
+        return key & 0xFFFFFFFF
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    raise TypeError(f"stream keys must be int or str, got {type(key).__name__}")
+
+
+def derive_seed(root_seed: int, *key: _Key) -> np.random.SeedSequence:
+    """A :class:`numpy.random.SeedSequence` for the stream named by ``key``."""
+    entropy = [root_seed & 0xFFFFFFFF] + [_key_to_int(k) for k in key]
+    return np.random.SeedSequence(entropy)
+
+
+def stream(root_seed: int, *key: _Key) -> np.random.Generator:
+    """An independent :class:`numpy.random.Generator` for ``key``.
+
+    Example::
+
+        gen = stream(42, "trace", "rutgers")
+    """
+    return np.random.default_rng(derive_seed(root_seed, *key))

@@ -1,0 +1,245 @@
+"""Measurement instruments for simulations.
+
+The paper measures *steady-state* behaviour: caches are warmed first, then
+throughput, mean response time, hit rates and per-resource utilization are
+collected.  Every instrument here therefore supports ``reset(now)`` so the
+warm-up phase can be discarded without restarting the run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = [
+    "UtilizationTracker",
+    "ThroughputMeter",
+    "RunningStats",
+    "ReservoirQuantiles",
+    "CounterSet",
+]
+
+
+class UtilizationTracker:
+    """Time-integral of busy servers for one service center.
+
+    Utilization over the measured window is
+    ``busy_time / (capacity * elapsed)`` — the quantity Figure 6a plots per
+    resource (disk / CPU / NIC).
+    """
+
+    __slots__ = ("capacity", "_busy", "_last_change", "_busy_integral", "_window_start")
+
+    def __init__(self, capacity: int = 1, now: float = 0.0):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._busy = 0
+        self._last_change = now
+        self._busy_integral = 0.0
+        self._window_start = now
+
+    def _accumulate(self, now: float) -> None:
+        self._busy_integral += self._busy * (now - self._last_change)
+        self._last_change = now
+
+    def on_start(self, now: float) -> None:
+        """A server became busy at ``now``."""
+        self._accumulate(now)
+        self._busy += 1
+        if self._busy > self.capacity:
+            raise ValueError("more busy servers than capacity")
+
+    def on_stop(self, now: float) -> None:
+        """A server became idle at ``now``."""
+        self._accumulate(now)
+        self._busy -= 1
+        if self._busy < 0:
+            raise ValueError("negative busy count")
+
+    def reset(self, now: float) -> None:
+        """Discard history; start a fresh measurement window at ``now``."""
+        self._accumulate(now)
+        self._busy_integral = 0.0
+        self._window_start = now
+
+    @property
+    def busy(self) -> int:
+        """Number of currently busy servers."""
+        return self._busy
+
+    def utilization(self, now: float) -> float:
+        """Mean utilization in [0, 1] over the current window."""
+        elapsed = now - self._window_start
+        if elapsed <= 0.0:
+            return 0.0
+        integral = self._busy_integral + self._busy * (now - self._last_change)
+        return integral / (self.capacity * elapsed)
+
+
+class ThroughputMeter:
+    """Counts completions and reports a rate over the measurement window."""
+
+    __slots__ = ("_count", "_window_start")
+
+    def __init__(self, now: float = 0.0):
+        self._count = 0
+        self._window_start = now
+
+    def record(self) -> None:
+        """One unit of work (a request) completed."""
+        self._count += 1
+
+    def reset(self, now: float) -> None:
+        """Zero the counter and restart the window at ``now``."""
+        self._count = 0
+        self._window_start = now
+
+    @property
+    def count(self) -> int:
+        """Completions since the window started."""
+        return self._count
+
+    def per_second(self, now: float) -> float:
+        """Completions per second (sim time is in ms)."""
+        elapsed_ms = now - self._window_start
+        if elapsed_ms <= 0.0:
+            return 0.0
+        return self._count / (elapsed_ms / 1000.0)
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max (Welford's algorithm)."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, x: float) -> None:
+        """Add one observation."""
+        self.n += 1
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator; 0.0 for n < 2)."""
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+
+class ReservoirQuantiles:
+    """Fixed-size deterministic reservoir for approximate quantiles.
+
+    Keeps every k-th observation once the reservoir fills (systematic
+    sampling).  Deterministic by construction — no RNG — so repeated runs
+    report identical percentiles.
+    """
+
+    __slots__ = ("_capacity", "_samples", "_seen", "_stride")
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._samples: List[float] = []
+        self._seen = 0
+        self._stride = 1
+
+    def record(self, x: float) -> None:
+        """Add one observation (may be subsampled)."""
+        if self._seen % self._stride == 0:
+            if len(self._samples) >= self._capacity:
+                # Halve the resolution: keep every other sample.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            if self._seen % self._stride == 0:
+                self._samples.append(x)
+        self._seen += 1
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self._samples.clear()
+        self._seen = 0
+        self._stride = 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile, q in [0, 1]; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._samples:
+            return 0.0
+        data = sorted(self._samples)
+        idx = min(len(data) - 1, int(round(q * (len(data) - 1))))
+        return data[idx]
+
+    @property
+    def count(self) -> int:
+        """Observations seen (not the reservoir size)."""
+        return self._seen
+
+
+class CounterSet:
+    """A named bundle of integer counters (hit/miss/forward/... events)."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment ``name`` by ``by`` (creates it at zero)."""
+        self._counts[name] = self._counts.get(name, 0) + by
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counts.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counts.clear()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all counters."""
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, *denominator_parts: str) -> float:
+        """``numerator / sum(denominator_parts)`` with a 0-safe denominator.
+
+        With no ``denominator_parts``, the denominator is the sum of every
+        counter (useful for hit-rate style fractions).
+        """
+        if denominator_parts:
+            denom = sum(self.get(p) for p in denominator_parts)
+        else:
+            denom = sum(self._counts.values())
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom

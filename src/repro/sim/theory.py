@@ -1,0 +1,60 @@
+"""Closed-form queueing results used to validate the simulator.
+
+A discrete-event simulator earns trust by reproducing textbook queueing
+theory before anything else.  ``tests/test_sim_theory.py`` drives
+:class:`~repro.sim.servicecenter.ServiceCenter` with synthetic arrival
+processes and checks the measurements against these formulas:
+
+* the **utilization law** ``U = λ·E[S]``;
+* **M/M/1** and **M/D/1** mean waiting times (Pollaczek-Khinchine);
+* **Little's law** ``L = λ·W``.
+
+All formulas use arrival rate ``lam`` (jobs per ms) and mean service
+time ``service_ms`` (ms), matching the simulator's units.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "utilization",
+    "mm1_wait_ms",
+    "md1_wait_ms",
+    "mg1_wait_ms",
+    "little_l",
+]
+
+
+def utilization(lam: float, service_ms: float) -> float:
+    """Utilization law: the fraction of time the server is busy."""
+    if lam < 0 or service_ms < 0:
+        raise ValueError("rates and times must be non-negative")
+    return lam * service_ms
+
+
+def mg1_wait_ms(lam: float, service_ms: float, service_scv: float) -> float:
+    """Pollaczek-Khinchine mean *queueing* delay for M/G/1 (ms).
+
+    ``service_scv`` is the squared coefficient of variation of service
+    time (0 = deterministic, 1 = exponential).  Requires utilization < 1.
+    """
+    rho = utilization(lam, service_ms)
+    if not 0 <= rho < 1:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return (rho * service_ms * (1.0 + service_scv)) / (2.0 * (1.0 - rho))
+
+
+def mm1_wait_ms(lam: float, service_ms: float) -> float:
+    """Mean queueing delay of M/M/1 (exponential service), ms."""
+    return mg1_wait_ms(lam, service_ms, service_scv=1.0)
+
+
+def md1_wait_ms(lam: float, service_ms: float) -> float:
+    """Mean queueing delay of M/D/1 (deterministic service), ms."""
+    return mg1_wait_ms(lam, service_ms, service_scv=0.0)
+
+
+def little_l(lam: float, wait_ms: float) -> float:
+    """Little's law: mean number in system given rate and mean time."""
+    if lam < 0 or wait_ms < 0:
+        raise ValueError("rates and times must be non-negative")
+    return lam * wait_ms

@@ -1,0 +1,54 @@
+"""Trace persistence.
+
+Generating the full-size synthetic traces takes seconds, but parsing a
+multi-gigabyte real access log does not — so traces can be saved to a
+compact ``.npz`` and reloaded instantly.  The format stores the request
+stream and file sizes as numpy arrays plus the spec fields needed to
+reconstruct provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Union
+
+import numpy as np
+
+from .model import Trace, TraceSpec
+
+__all__ = ["save_trace", "load_trace"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write ``trace`` to ``path`` (numpy ``.npz``, compressed)."""
+    spec_json = json.dumps(
+        {"format_version": _FORMAT_VERSION, "spec": asdict(trace.spec)}
+    )
+    np.savez_compressed(
+        path,
+        sizes_kb=trace.sizes_kb,
+        requests=trace.requests,
+        meta=np.frombuffer(spec_json.encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+            sizes = data["sizes_kb"]
+            requests = data["requests"]
+        except KeyError as exc:
+            raise ValueError(f"{path!s} is not a saved trace") from exc
+    version = meta.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version {version!r} in {path!s}"
+        )
+    spec = TraceSpec(**meta["spec"])
+    return Trace(spec=spec, sizes_kb=sizes, requests=requests)

@@ -1,0 +1,18 @@
+"""Web service layer and measurement harness (system S8 in DESIGN.md).
+
+* :class:`~repro.web.server.CoopCacheWebServer` — GET service over the
+  cooperative caching middleware.
+* :class:`~repro.web.client.ClosedLoopDriver` — the paper's measurement
+  protocol (closed-loop clients, warm-up, steady-state stats).
+"""
+
+from .client import HTTP_REQUEST_KB, ClosedLoopDriver, ClusterService, WorkloadResult
+from .server import CoopCacheWebServer
+
+__all__ = [
+    "CoopCacheWebServer",
+    "ClosedLoopDriver",
+    "ClusterService",
+    "WorkloadResult",
+    "HTTP_REQUEST_KB",
+]

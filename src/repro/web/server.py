@@ -1,0 +1,58 @@
+"""Web server layered on the cooperative caching middleware.
+
+The paper's server stack is deliberately boring — "an off-the-shelf web
+server and round-robin DNS" — with all cleverness in the middleware.  A
+request for file *f* at node *n* costs:
+
+1. URL parsing on *n*'s CPU (Table 1 "Parsing time");
+2. the middleware read (:meth:`repro.core.CoopCacheLayer.read`);
+3. reply serving on *n*'s CPU (Table 1 "Serving time", size-dependent);
+4. *n*'s NIC occupancy pushing the reply onto the LAN.
+
+Any object with this module's ``handle(node, file_id)`` / ``reset_stats``
+shape plugs into the closed-loop client harness — the PRESS baseline
+implements the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..cache.block import FileLayout
+from ..cluster.node import Node
+from ..core.middleware import CoopCacheLayer
+from ..sim.engine import Event
+
+__all__ = ["CoopCacheWebServer"]
+
+
+class CoopCacheWebServer:
+    """HTTP GET service over :class:`~repro.core.CoopCacheLayer`."""
+
+    def __init__(self, layer: CoopCacheLayer):
+        self.layer = layer
+        self.params = layer.params
+        self.layout: FileLayout = layer.layout
+
+    def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
+        """Coroutine: fully process one GET for ``file_id`` at ``node``.
+
+        Returns the request's service class ("local" / "remote" /
+        "disk") for per-class response-time accounting.
+        """
+        cpu = self.params.cpu
+        yield node.cpu.submit(cpu.parse_ms)
+        service_class = yield from self.layer.read(node, file_id)
+        size_kb = self.layout.size_kb(file_id)
+        yield node.cpu.submit(cpu.serve_ms(size_kb))
+        # Reply to the client over the shared LAN.
+        yield node.nic.submit(self.params.network.transfer_ms(size_kb))
+        return service_class
+
+    def reset_stats(self) -> None:
+        """Discard warm-up counters (hit rates become steady-state)."""
+        self.layer.counters.reset()
+
+    def hit_rates(self):
+        """Steady-state block hit rates (Figure 4)."""
+        return self.layer.hit_rates()

@@ -1,0 +1,112 @@
+"""Fast tests for the ablation studies (tiny monkeypatched workloads)."""
+
+import numpy as np
+import pytest
+
+import repro.experiments.ablations as abl
+from repro.traces import Trace, TraceSpec
+
+
+def tiny_trace(n_files=10, n_requests=250, seed=8):
+    rng = np.random.default_rng(seed)
+    reqs = (rng.random(n_requests) ** 2 * n_files).astype(int)
+    return Trace(
+        spec=TraceSpec("tiny", n_files, n_requests, 16.0),
+        sizes_kb=np.full(n_files, 16.0),
+        requests=np.clip(reqs, 0, n_files - 1),
+    )
+
+
+@pytest.fixture(autouse=True)
+def small_world(monkeypatch):
+    """Shrink every ablation to a toy workload and few clients."""
+    monkeypatch.setattr(abl.defaults, "NUM_CLIENTS", 4)
+    monkeypatch.setattr(abl.defaults, "SCALE", 0.01)
+    monkeypatch.setattr(abl.defaults, "workload", lambda name: tiny_trace())
+
+
+class TestA1Hints:
+    def test_shape_and_render(self):
+        data = abl.a1_hints(accuracies=(1.0, 0.5))
+        assert [p["accuracy"] for p in data["points"]] == [1.0, 0.5]
+        assert data["perfect_rps"] > 0
+        out = abl.render_a1(data)
+        assert "hint-based directory" in out
+
+    def test_perfect_hints_near_parity(self):
+        data = abl.a1_hints(accuracies=(1.0,))
+        assert data["points"][0]["vs_perfect"] == pytest.approx(1.0, abs=0.1)
+
+
+class TestA2Hotspot:
+    def test_shape_and_render(self):
+        data = abl.a2_hotspot(hot_fraction=0.2, num_nodes=2)
+        assert data["spread_rps"] > 0 and data["concentrated_rps"] > 0
+        assert 0 < data["ratio"] < 3
+        assert "concentrated/spread" in abl.render_a2(data)
+
+
+class TestA3WholeFile:
+    def test_shape_and_render(self):
+        data = abl.a3_wholefile(memories_mb=[0.125], num_nodes=2)
+        p = data["points"][0]
+        assert p["block_rps"] > 0 and p["wholefile_rps"] > 0
+        assert "granularity" in abl.render_a3(data)
+
+
+class TestA4DiskSched:
+    def test_shape_and_render(self):
+        data = abl.a4_disksched(mem_mb=0.125)
+        assert len(data["points"]) == 4
+        combos = {(p["policy"], p["disk"]) for p in data["points"]}
+        assert combos == {("basic", "fifo"), ("basic", "scan"),
+                          ("kmc", "fifo"), ("kmc", "scan")}
+        assert "disk scheduling" in abl.render_a4(data)
+
+
+class TestA5Lan:
+    def test_shape_and_render(self):
+        data = abl.a5_lan(mem_mb=0.125, configs=("lan-1gb",))
+        p = data["points"][0]
+        assert p["press_rps"] > 0 and p["kmc_rps"] > 0
+        assert p["ratio"] == pytest.approx(p["kmc_rps"] / p["press_rps"])
+        assert "LAN sensitivity" in abl.render_a5(data)
+
+
+class TestA6Replacement:
+    def test_shape_and_render(self):
+        data = abl.a6_replacement(mem_mb=0.125)
+        by = {(p["policy"], p["forward"]): p for p in data["points"]}
+        assert len(by) == 4
+        assert by[("kmc", False)]["forwards"] == 0
+        assert "replacement components" in abl.render_a6(data)
+
+
+class TestA7Writes:
+    def test_shape_and_render(self):
+        data = abl.a7_writes(mem_mb=0.125, write_ratios=(0.0, 0.5),
+                             num_nodes=2)
+        by = {p["write_ratio"]: p for p in data["points"]}
+        assert by[0.0]["back_flushes"] == 0
+        assert by[0.5]["through_flushes"] > 0
+        assert by[0.5]["back_invalidations"] >= 0
+        out = abl.render_a7(data)
+        assert "read/write workloads" in out
+
+
+class TestA8Temporal:
+    def test_shape_and_render(self, monkeypatch):
+        # A8 regenerates traces from the spec, so hand it a real (small)
+        # synthetic spec instead of the hand-built fixture trace.
+        from repro.traces import TraceSpec, generate
+
+        spec = TraceSpec("mini", 30, 400, 12.0, zipf_theta=1.0)
+        monkeypatch.setattr(
+            abl.defaults, "workload", lambda name: generate(spec)
+        )
+        data = abl.a8_temporal(mem_mb=0.125, alphas=(0.0, 0.5), num_nodes=2)
+        pts = {p["alpha"]: p for p in data["points"]}
+        assert pts[0.5]["recency"] >= pts[0.0]["recency"] - 0.02
+        assert all(p["press_rps"] > 0 and p["kmc_rps"] > 0
+                   for p in data["points"])
+        assert "temporal locality" in abl.render_a8(data)

@@ -1,0 +1,172 @@
+"""Tests for the timing-free cache simulators, including the cross-check
+against the full event-driven simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import AnalyticCoopCache, AnalyticPress
+from repro.cache.block import FileLayout
+from repro.params import DEFAULT_PARAMS
+from repro.traces import Trace, TraceSpec
+
+
+def make_layout(n_files=8, file_kb=16.0):
+    return FileLayout([file_kb] * n_files, DEFAULT_PARAMS)
+
+
+def make_trace(n_files=8, n_requests=400, file_kb=16.0, seed=3):
+    rng = np.random.default_rng(seed)
+    reqs = (rng.random(n_requests) ** 2 * n_files).astype(int)
+    return Trace(
+        spec=TraceSpec("t", n_files, n_requests, file_kb),
+        sizes_kb=np.full(n_files, file_kb),
+        requests=np.clip(reqs, 0, n_files - 1),
+    )
+
+
+class TestAnalyticCoopCache:
+    def test_first_access_is_disk(self):
+        sim = AnalyticCoopCache(2, make_layout(), capacity_blocks=16)
+        sim.access(0, 0)
+        assert sim.counts == {"local": 0, "remote": 0, "disk": 2}
+
+    def test_repeat_is_local(self):
+        sim = AnalyticCoopCache(2, make_layout(), capacity_blocks=16)
+        sim.access(0, 0)
+        sim.access(0, 0)
+        assert sim.counts["local"] == 2
+
+    def test_other_node_is_remote(self):
+        sim = AnalyticCoopCache(2, make_layout(), capacity_blocks=16)
+        sim.access(0, 0)
+        sim.access(1, 0)
+        assert sim.counts["remote"] == 2
+
+    def test_kmc_beats_basic_on_skewed_trace(self):
+        layout = make_layout(n_files=30)
+        trace = make_trace(n_files=30, n_requests=3000)
+        # Cache far smaller than the file set: policy differences show.
+        kmc = AnalyticCoopCache(4, layout, 8, policy="kmc").run(trace)
+        basic = AnalyticCoopCache(4, layout, 8, policy="basic").run(trace)
+        assert kmc["total"] >= basic["total"]
+
+    def test_forwarding_helps_or_is_neutral(self):
+        layout = make_layout(n_files=30)
+        trace = make_trace(n_files=30, n_requests=3000)
+        fwd = AnalyticCoopCache(4, layout, 8, forward_on_evict=True).run(trace)
+        nofwd = AnalyticCoopCache(4, layout, 8, forward_on_evict=False).run(trace)
+        assert fwd["total"] >= nofwd["total"] - 0.02
+
+    def test_hit_rates_sum_to_one(self):
+        sim = AnalyticCoopCache(4, make_layout(), 8)
+        hr = sim.run(make_trace())
+        assert hr["local"] + hr["remote"] + hr["disk"] == pytest.approx(1.0)
+
+    def test_bigger_cache_not_worse(self):
+        layout = make_layout(n_files=30)
+        trace = make_trace(n_files=30, n_requests=2000)
+        small = AnalyticCoopCache(4, layout, 4).run(trace)
+        big = AnalyticCoopCache(4, layout, 32).run(trace)
+        assert big["total"] >= small["total"]
+
+    def test_single_node(self):
+        sim = AnalyticCoopCache(1, make_layout(), 8)
+        hr = sim.run(make_trace(), warmup_frac=0.0)
+        assert hr["remote"] == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            AnalyticCoopCache(0, make_layout(), 8)
+        sim = AnalyticCoopCache(1, make_layout(), 8)
+        with pytest.raises(ValueError):
+            sim.run(make_trace(), warmup_frac=1.0)
+
+    def test_empty_hit_rates(self):
+        sim = AnalyticCoopCache(2, make_layout(), 8)
+        assert sim.hit_rates()["total"] == 0.0
+
+
+class TestAnalyticPress:
+    def test_adoption_then_hits(self):
+        sim = AnalyticPress(2, make_layout(), capacity_kb=64.0)
+        sim.access(0, 0)
+        sim.access(0, 0)
+        sim.access(1, 0)
+        assert sim.counts["disk"] == 2
+        assert sim.counts["local"] + sim.counts["remote"] == 4
+
+    def test_single_copy_kept(self):
+        sim = AnalyticPress(4, make_layout(), capacity_kb=64.0)
+        for node in range(4):
+            sim.access(node, 0)
+        assert sim.directory.copies(0) == 1
+
+    def test_oversized_file_never_cached(self):
+        layout = FileLayout([100.0], DEFAULT_PARAMS)
+        sim = AnalyticPress(2, layout, capacity_kb=50.0)
+        sim.access(0, 0)
+        sim.access(0, 0)
+        assert sim.counts["disk"] == 26  # 13 blocks, twice
+
+    def test_run_and_rates(self):
+        sim = AnalyticPress(4, make_layout(), capacity_kb=64.0)
+        hr = sim.run(make_trace())
+        assert hr["local"] + hr["remote"] + hr["disk"] == pytest.approx(1.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AnalyticPress(0, make_layout(), 64.0)
+
+
+class TestCrossValidation:
+    """The full event simulator must track sequential semantics."""
+
+    def test_full_sim_hit_rate_tracks_analytic_single_client(self):
+        # With ONE closed-loop client there is no concurrency, so the
+        # full simulator should match the analytic replay very closely.
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        n_files = 20
+        trace = make_trace(n_files=n_files, n_requests=600)
+        layout = FileLayout(trace.sizes_kb, DEFAULT_PARAMS)
+
+        analytic = AnalyticCoopCache(4, layout, 16, policy="kmc").run(
+            trace, warmup_frac=0.25
+        )
+        full = run_experiment(
+            ExperimentConfig(
+                system="cc-kmc",
+                trace=trace,
+                num_nodes=4,
+                mem_mb_per_node=16 * 8 / 1024.0,
+                num_clients=1,
+                warmup_frac=0.25,
+            )
+        )
+        assert full.hit_rates["total"] == pytest.approx(
+            analytic["total"], abs=0.05
+        )
+        assert full.hit_rates["disk"] == pytest.approx(
+            analytic["disk"], abs=0.05
+        )
+
+    def test_kmc_advantage_visible_in_both(self):
+        n_files = 30
+        trace = make_trace(n_files=n_files, n_requests=1200)
+        layout = FileLayout(trace.sizes_kb, DEFAULT_PARAMS)
+        a_kmc = AnalyticCoopCache(4, layout, 8, policy="kmc").run(trace)
+        a_basic = AnalyticCoopCache(4, layout, 8, policy="basic").run(trace)
+
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        mem = 8 * 8 / 1024.0
+        f_kmc = run_experiment(ExperimentConfig(
+            system="cc-kmc", trace=trace, num_nodes=4,
+            mem_mb_per_node=mem, num_clients=1))
+        f_basic = run_experiment(ExperimentConfig(
+            system="cc-sched", trace=trace, num_nodes=4,
+            mem_mb_per_node=mem, num_clients=1))
+        # Ordering agrees between the two simulators.
+        assert (a_kmc["total"] >= a_basic["total"]) == (
+            f_kmc.hit_rates["total"] >= f_basic.hit_rates["total"]
+        )

@@ -1,0 +1,197 @@
+"""Unit tests for BlockCache, GlobalDirectory and HomeMap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import BlockCache, BlockId, CacheFullError, GlobalDirectory, HomeMap
+
+
+def b(i):
+    return BlockId(0, i)
+
+
+class TestBlockCache:
+    def test_insert_and_contains(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        assert b(1) in c and c.is_master(b(1))
+        assert len(c) == 1
+
+    def test_capacity_enforced(self):
+        c = BlockCache(0, 2)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        assert c.is_full
+        with pytest.raises(CacheFullError):
+            c.insert(b(3), master=True, age=3.0)
+
+    def test_duplicate_insert_raises(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        with pytest.raises(KeyError):
+            c.insert(b(1), master=False, age=2.0)
+
+    def test_free_slots(self):
+        c = BlockCache(0, 3)
+        assert c.free_slots == 3
+        c.insert(b(1), master=True, age=1.0)
+        assert c.free_slots == 2
+
+    def test_master_nonmaster_counts(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        c.insert(b(3), master=False, age=3.0)
+        assert c.num_masters == 1 and c.num_nonmasters == 2
+
+    def test_oldest_across_both_sets(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=5.0)
+        c.insert(b(2), master=False, age=3.0)
+        assert c.oldest() == (b(2), 3.0, False)
+
+    def test_oldest_tie_prefers_nonmaster(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=3.0)
+        c.insert(b(2), master=False, age=3.0)
+        assert c.oldest() == (b(2), 3.0, False)
+
+    def test_oldest_empty(self):
+        assert BlockCache(0, 4).oldest() is None
+        assert BlockCache(0, 4).oldest_age() == float("inf")
+
+    def test_oldest_nonmaster_only_masters(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        assert c.oldest_nonmaster() is None
+
+    def test_touch_refreshes(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        c.touch(b(1), 10.0)
+        assert c.oldest() == (b(2), 2.0, False)
+        assert c.age_of(b(1)) == 10.0
+
+    def test_remove_returns_masterness(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        assert c.remove(b(1)) is True
+        assert c.remove(b(2)) is False
+        assert len(c) == 0
+
+    def test_promote_to_master_keeps_age(self):
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=False, age=7.0)
+        c.promote_to_master(b(1))
+        assert c.is_master(b(1))
+        assert c.age_of(b(1)) == 7.0
+        assert c.num_nonmasters == 0
+
+    def test_forwarded_old_block_becomes_victim(self):
+        # A forwarded master arriving with an ancient age must become the
+        # next eviction victim, not sit at the MRU end.
+        c = BlockCache(0, 4)
+        c.insert(b(1), master=True, age=100.0)
+        c.insert(b(2), master=True, age=200.0)
+        c.insert(b(3), master=True, age=0.5)  # forwarded, ancient
+        assert c.oldest() == (b(3), 0.5, True)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BlockCache(0, 0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert_m", "insert_n", "touch", "remove"]),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_and_counts_invariants(self, ops):
+        cap = 4
+        c = BlockCache(0, cap)
+        model = {}  # block -> is_master
+        clock = 0.0
+        for op, i in ops:
+            blk = b(i)
+            clock += 1.0
+            if op.startswith("insert") and blk not in model and len(model) < cap:
+                master = op == "insert_m"
+                c.insert(blk, master=master, age=clock)
+                model[blk] = master
+            elif op == "touch" and blk in model:
+                c.touch(blk, clock)
+            elif op == "remove" and blk in model:
+                assert c.remove(blk) == model.pop(blk)
+            assert len(c) == len(model) <= cap
+            assert c.num_masters == sum(model.values())
+            assert c.num_nonmasters == len(model) - sum(model.values())
+            assert c.is_full == (len(model) == cap)
+
+
+class TestGlobalDirectory:
+    def test_lookup_absent(self):
+        assert GlobalDirectory().lookup(b(1)) is None
+
+    def test_set_and_lookup(self):
+        d = GlobalDirectory()
+        d.set_master(b(1), 3)
+        assert d.lookup(b(1)) == 3
+        assert len(d) == 1
+
+    def test_move_master(self):
+        d = GlobalDirectory()
+        d.set_master(b(1), 3)
+        d.set_master(b(1), 5)
+        assert d.lookup(b(1)) == 5
+        assert len(d) == 1
+
+    def test_clear_master(self):
+        d = GlobalDirectory()
+        d.set_master(b(1), 3)
+        d.clear_master(b(1))
+        assert d.lookup(b(1)) is None
+        d.clear_master(b(1))  # idempotent
+
+    def test_masters_at(self):
+        d = GlobalDirectory()
+        d.set_master(b(1), 0)
+        d.set_master(b(2), 0)
+        d.set_master(b(3), 1)
+        assert d.masters_at(0) == 2 and d.masters_at(1) == 1
+
+
+class TestHomeMap:
+    def test_round_robin_spread(self):
+        h = HomeMap(num_files=10, num_nodes=4)
+        assert [h.home_of(f) for f in range(10)] == [f % 4 for f in range(10)]
+
+    def test_concentrated(self):
+        h = HomeMap(num_files=5, num_nodes=4, strategy="concentrated")
+        assert all(h.home_of(f) == 0 for f in range(5))
+
+    def test_concentrate_subset(self):
+        h = HomeMap(num_files=10, num_nodes=4)
+        h.concentrate([1, 2, 3], node_id=2)
+        assert h.home_of(1) == h.home_of(2) == h.home_of(3) == 2
+        assert h.home_of(0) == 0
+
+    def test_concentrate_bad_node(self):
+        h = HomeMap(num_files=10, num_nodes=4)
+        with pytest.raises(ValueError):
+            h.concentrate([1], node_id=7)
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            HomeMap(5, 2, strategy="random")
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            HomeMap(0, 2)
+        with pytest.raises(ValueError):
+            HomeMap(2, 0)

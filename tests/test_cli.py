@@ -1,0 +1,56 @@
+"""Tests for the experiments CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import cli
+from repro.traces import Trace, TraceSpec
+
+
+def tiny_trace(n_files=8, n_requests=150, seed=2):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        spec=TraceSpec("tiny", n_files, n_requests, 16.0),
+        sizes_kb=np.full(n_files, 16.0),
+        requests=rng.integers(0, n_files, size=n_requests),
+    )
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "a6" in out
+
+    def test_no_args_lists(self, capsys):
+        assert cli.main([]) == 0
+        assert "artifacts:" in capsys.readouterr().out
+
+    def test_unknown_artifact(self, capsys):
+        assert cli.main(["fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_table1_renders(self, capsys):
+        assert cli.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "# table1 #" in out
+
+    def test_simulation_artifact_with_tiny_workload(self, capsys, monkeypatch):
+        from repro.experiments import defaults, figures
+
+        monkeypatch.setattr(defaults, "workload", lambda name: tiny_trace())
+        monkeypatch.setattr(defaults, "NUM_CLIENTS", 4)
+        monkeypatch.setattr(
+            defaults, "memory_points_mb", lambda points=None: [0.125]
+        )
+        assert cli.main(["fig6a"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6a" in out
+
+    def test_artifact_registry_complete(self):
+        expected = {
+            "table1", "table2",
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
+            "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
+        }
+        assert set(cli.ARTIFACTS) == expected

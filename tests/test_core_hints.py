@@ -1,0 +1,129 @@
+"""Tests for the hint-based directory (ablation A1)."""
+
+import pytest
+
+from repro.cache import BlockId
+from repro.core import CoopCacheConfig, CoopCacheService, HintDirectory
+from repro.core.hints import HINT_TRAFFIC_OVERHEAD
+from repro.sim.rng import stream
+
+
+def b(i):
+    return BlockId(0, i)
+
+
+class TestHintDirectory:
+    def test_perfect_accuracy_always_truthful(self):
+        d = HintDirectory(1.0, 4, stream(0, "h"))
+        d.set_master(b(1), 2)
+        for _ in range(50):
+            assert d.route_lookup(b(1)) == 2
+            assert d.route_lookup(b(2)) is None
+        assert d.wrong_hints == 0
+        assert d.observed_accuracy == 1.0
+
+    def test_zero_accuracy_never_truthful(self):
+        d = HintDirectory(0.0, 4, stream(0, "h"))
+        d.set_master(b(1), 2)
+        for _ in range(50):
+            assert d.route_lookup(b(1)) != 2
+        assert d.wrong_hints == d.lookups == 100 - 50  # only the loop above
+
+    def test_zero_accuracy_uncached_points_somewhere(self):
+        d = HintDirectory(0.0, 4, stream(0, "h"))
+        for _ in range(20):
+            got = d.route_lookup(b(9))
+            assert got is not None and 0 <= got < 4
+
+    def test_observed_accuracy_near_nominal(self):
+        d = HintDirectory(0.9, 8, stream(1, "h"))
+        d.set_master(b(1), 3)
+        for _ in range(2000):
+            d.route_lookup(b(1))
+        assert d.observed_accuracy == pytest.approx(0.9, abs=0.03)
+
+    def test_truth_layer_unaffected(self):
+        d = HintDirectory(0.0, 4, stream(0, "h"))
+        d.set_master(b(1), 2)
+        assert d.lookup(b(1)) == 2  # consistency ops stay exact
+
+    def test_single_node_wrong_hint_degrades_to_none(self):
+        d = HintDirectory(0.0, 1, stream(0, "h"))
+        d.set_master(b(1), 0)
+        # With one node there is no "other node" to mis-point at.
+        assert d.route_lookup(b(1)) in (None, 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            HintDirectory(1.5, 4, stream(0, "h"))
+        with pytest.raises(ValueError):
+            HintDirectory(0.5, 0, stream(0, "h"))
+
+
+class TestHintedMiddleware:
+    def make(self, accuracy):
+        cfg = CoopCacheConfig(directory="hints", hint_accuracy=accuracy)
+        return CoopCacheService(
+            file_sizes_kb=[16.0] * 8,
+            num_nodes=4,
+            mem_mb_per_node=1.0,
+            config=cfg,
+            seed=7,
+        )
+
+    def run_workload(self, svc, n=80):
+        import random
+
+        rnd = random.Random(3)
+
+        def driver():
+            for _ in range(n):
+                yield svc.submit(
+                    svc.layer.read(svc.node(rnd.randrange(4)), rnd.randrange(8))
+                )
+
+        svc.submit(driver())
+        svc.run()
+
+    def test_hint_service_uses_hint_directory(self):
+        svc = self.make(0.9)
+        assert isinstance(svc.layer.directory, HintDirectory)
+
+    def test_perfect_hints_match_perfect_directory_hit_rate(self):
+        hinted = self.make(1.0)
+        self.run_workload(hinted)
+        perfect = CoopCacheService(
+            file_sizes_kb=[16.0] * 8, num_nodes=4, mem_mb_per_node=1.0, seed=7
+        )
+        self.run_workload(perfect)
+        assert hinted.layer.hit_rates() == perfect.layer.hit_rates()
+
+    def test_wrong_hints_bounce_to_disk(self):
+        svc = self.make(0.5)
+        self.run_workload(svc)
+        c = svc.layer.counters
+        # Stale locations produce peer misses that fall back to disk.
+        assert c.get("peer_miss") > 0
+        svc.layer.check_invariants()
+
+    def test_lower_accuracy_means_lower_remote_hit_rate(self):
+        high = self.make(1.0)
+        self.run_workload(high)
+        low = self.make(0.3)
+        self.run_workload(low)
+        assert (
+            low.layer.hit_rates()["remote"] <= high.layer.hit_rates()["remote"]
+        )
+
+    def test_hint_messages_carry_overhead(self):
+        from repro.core.middleware import REQUEST_MSG_KB
+
+        svc = self.make(0.9)
+        assert svc.layer._msg_kb == pytest.approx(
+            REQUEST_MSG_KB * (1 + HINT_TRAFFIC_OVERHEAD)
+        )
+
+    def test_invariants_hold_under_hints(self):
+        svc = self.make(0.7)
+        self.run_workload(svc, n=150)
+        svc.layer.check_invariants()

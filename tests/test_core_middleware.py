@@ -1,0 +1,279 @@
+"""Protocol tests for the cooperative caching middleware.
+
+These exercise the Section 3 protocol directly on small hand-built
+clusters: hit classification, master designation, forwarding semantics
+(second chance, no cascades, drop-if-youngest), the KMC rule, and the
+in-flight races.
+"""
+
+import pytest
+
+from repro.cache import BlockId
+from repro.core import CoopCacheConfig, CoopCacheService, variant
+from repro.core.api import blocks_for_mb
+
+
+def make(num_files=4, file_kb=16.0, num_nodes=4, mem_mb=1.0, config=None, sizes=None):
+    return CoopCacheService(
+        file_sizes_kb=sizes if sizes is not None else [file_kb] * num_files,
+        num_nodes=num_nodes,
+        mem_mb_per_node=mem_mb,
+        config=config or variant("cc-kmc"),
+    )
+
+
+def read_seq(svc, pairs):
+    """Run (node_id, file_id) reads one after another."""
+
+    def driver():
+        for node_id, file_id in pairs:
+            yield svc.submit(svc.layer.read(svc.node(node_id), file_id))
+
+    svc.submit(driver())
+    svc.run()
+
+
+class TestBasicProtocol:
+    def test_first_read_comes_from_disk_and_masters(self):
+        svc = make()
+        read_seq(svc, [(0, 0)])
+        layer = svc.layer
+        assert layer.counters.get("disk_read") == 2  # 16 KB = 2 blocks
+        assert layer.counters.get("local_hit") == 0
+        for blk in layer.layout.blocks(0):
+            assert layer.caches[0].is_master(blk)
+            assert layer.directory.lookup(blk) == 0
+
+    def test_repeat_read_is_local_hit(self):
+        svc = make()
+        read_seq(svc, [(0, 0), (0, 0)])
+        assert svc.layer.counters.get("local_hit") == 2
+        assert svc.layer.counters.get("disk_read") == 2
+
+    def test_other_node_gets_remote_hit_and_replica(self):
+        svc = make()
+        read_seq(svc, [(0, 0), (1, 0)])
+        layer = svc.layer
+        assert layer.counters.get("remote_hit") == 2
+        for blk in layer.layout.blocks(0):
+            assert blk in layer.caches[1]
+            assert not layer.caches[1].is_master(blk)
+            assert layer.directory.lookup(blk) == 0  # master unmoved
+
+    def test_remote_hit_touches_master_by_default(self):
+        svc = make()
+        read_seq(svc, [(0, 0), (1, 0)])
+        layer = svc.layer
+        blk = BlockId(0, 0)
+        # Master age at node 0 refreshed by the peer hit: it is no longer
+        # the oldest thing in node 0's cache ordering vs a fresh block.
+        assert layer.caches[0].age_of(blk) > 0.0
+
+    def test_no_touch_on_peer_hit_when_disabled(self):
+        cfg = variant("cc-kmc").with_overrides(touch_on_peer_hit=False)
+        svc = make(config=cfg)
+        read_seq(svc, [(0, 0)])
+        layer = svc.layer
+        ages_before = {
+            blk: layer.caches[0].age_of(blk) for blk in layer.layout.blocks(0)
+        }
+        read_seq(svc, [(1, 0)])
+        for blk, age in ages_before.items():
+            assert layer.caches[0].age_of(blk) == age
+
+    def test_disk_read_at_remote_home_transfers_master(self):
+        # File 1's home is node 1 (round robin), but node 3 reads it.
+        svc = make()
+        read_seq(svc, [(3, 1)])
+        layer = svc.layer
+        for blk in layer.layout.blocks(1):
+            assert layer.caches[3].is_master(blk)
+            assert blk not in layer.caches[1]
+        # The home node's disk did the read.
+        assert svc.cluster.nodes[1].disk.completed > 0
+        assert svc.cluster.nodes[3].disk.completed == 0
+
+    def test_single_node_cluster_works(self):
+        svc = make(num_nodes=1)
+        read_seq(svc, [(0, 0), (0, 1), (0, 0)])
+        assert svc.layer.counters.get("local_hit") == 2
+        svc.layer.check_invariants()
+
+    def test_hit_rates_accounting(self):
+        svc = make()
+        read_seq(svc, [(0, 0), (0, 0), (1, 0)])
+        hr = svc.layer.hit_rates()
+        # 6 block accesses: 2 disk, 2 local, 2 remote.
+        assert hr["disk"] == pytest.approx(2 / 6)
+        assert hr["local"] == pytest.approx(2 / 6)
+        assert hr["remote"] == pytest.approx(2 / 6)
+        assert hr["total"] == pytest.approx(4 / 6)
+
+    def test_hit_rates_empty(self):
+        svc = make()
+        assert svc.layer.hit_rates() == {
+            "local": 0.0, "remote": 0.0, "disk": 0.0, "total": 0.0
+        }
+
+
+class TestEviction:
+    def test_nonmaster_victim_dropped_silently(self):
+        # Node 0 fills with masters of file 0 plus replicas of file 1,
+        # then needs room: the replica goes, no forwarding.
+        sizes = [16.0, 16.0, 16.0]  # 2 blocks each
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0)  # 4 blocks per node
+        read_seq(svc, [(1, 1), (0, 0), (0, 1), (0, 2)])
+        layer = svc.layer
+        assert layer.counters.get("evict_drop_nonmaster") == 2
+        assert layer.counters.get("forwards") == 0
+        # Masters of files 0 and 2 still at node 0.
+        for f in (0, 2):
+            for blk in layer.layout.blocks(f):
+                assert layer.caches[0].is_master(blk)
+        layer.check_invariants()
+
+    def test_kmc_never_evicts_master_while_replica_resident(self):
+        sizes = [16.0] * 4
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0)
+        # Node 0: masters of file 0 (old), replicas of file 1 (younger).
+        read_seq(svc, [(1, 1), (0, 0), (0, 1)])
+        # Now node 0 is full (4 blocks). Reading file 2 must evict the
+        # *replicas* even though the masters are older.
+        read_seq(svc, [(0, 2)])
+        layer = svc.layer
+        for blk in layer.layout.blocks(0):
+            assert layer.caches[0].is_master(blk)
+        for blk in layer.layout.blocks(1):
+            assert blk not in layer.caches[0]
+
+    def test_basic_evicts_global_oldest_master(self):
+        cfg = variant("cc-sched")  # basic policy, scan disk
+        sizes = [16.0] * 4
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=cfg)
+        read_seq(svc, [(1, 1), (0, 0), (0, 1), (0, 2)])
+        layer = svc.layer
+        # Under basic LRU the oldest blocks at node 0 are file 0's
+        # masters (read before file 1's replicas were touched), so they
+        # are evicted (forwarded, since peers hold older? peers hold
+        # file 1 masters older than file 0's -> no, node 1 read file 1
+        # first so its blocks are oldest; forwarding happens).
+        evicted_masters = (
+            layer.counters.get("forwards")
+            + layer.counters.get("evict_drop_master")
+        )
+        assert evicted_masters == 2
+        layer.check_invariants()
+
+    def test_forwarding_disabled_drops_masters(self):
+        cfg = CoopCacheConfig(policy="basic", forward_on_evict=False)
+        sizes = [16.0] * 4
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=cfg)
+        read_seq(svc, [(1, 1), (0, 0), (0, 1), (0, 2)])
+        layer = svc.layer
+        assert layer.counters.get("forwards") == 0
+        assert layer.counters.get("evict_drop_master") == 2
+        # Dropped masters left the directory.
+        for blk in layer.layout.blocks(0):
+            assert layer.directory.lookup(blk) is None
+
+
+class TestForwarding:
+    def _fill_node(self, svc, node_id, file_ids):
+        read_seq(svc, [(node_id, f) for f in file_ids])
+
+    def test_forwarded_master_lands_on_peer_with_oldest(self):
+        sizes = [16.0] * 6
+        # 4 blocks per node.
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=variant("cc-sched"))
+        # Node 1 reads file 5 first -> node 1 holds the oldest blocks.
+        read_seq(svc, [(1, 5)])
+        # Node 0 fills with files 0,1 then overflows with file 2.
+        self._fill_node(svc, 0, [0, 1, 2])
+        layer = svc.layer
+        assert layer.counters.get("forwards") == 2
+        assert layer.counters.get("forward_installed") == 2
+        # File 0's masters moved to node 1.
+        for blk in layer.layout.blocks(0):
+            assert layer.caches[1].is_master(blk)
+            assert layer.directory.lookup(blk) == 1
+        layer.check_invariants()
+
+    def test_forward_displaces_destination_oldest_without_cascade(self):
+        sizes = [16.0] * 6
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=variant("cc-sched"))
+        read_seq(svc, [(1, 5), (1, 4)])  # node 1 full: masters 5,4
+        self._fill_node(svc, 0, [0, 1, 2])
+        layer = svc.layer
+        # Node 1 dropped its own oldest (file 5's blocks) to make room;
+        # those drops must NOT trigger further forwards (no cascades).
+        assert layer.counters.get("forward_displaced") == 2
+        assert layer.counters.get("forwards") == 2
+        # The displaced masters are gone from the directory.
+        dropped = [
+            blk for blk in layer.layout.blocks(5)
+            if layer.directory.lookup(blk) is None
+        ]
+        assert len(dropped) == 2
+        layer.check_invariants()
+
+    def test_globally_oldest_master_is_dropped_not_forwarded(self):
+        sizes = [16.0] * 3
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=variant("cc-sched"))
+        # Only node 0 has anything cached; its oldest is globally oldest.
+        self._fill_node(svc, 0, [0, 1, 2])
+        layer = svc.layer
+        assert layer.counters.get("forwards") == 0
+        assert layer.counters.get("evict_drop_master") == 2
+
+    def test_forward_merges_with_existing_replica(self):
+        sizes = [16.0] * 6
+        svc = make(sizes=sizes, mem_mb=4 * 8 / 1024.0, config=variant("cc-sched"))
+        # Node 1 reads file 5 (its blocks oldest), then node 1 fetches a
+        # replica of file 0 from node 0... but that would evict. Instead:
+        # node 1 reads file 5; node 0 reads file 0; node 1 reads file 0
+        # (replicas at node 1, evicting file 5 blocks? capacity 4: file5
+        # masters (2) + file0 replicas (2) = full).
+        read_seq(svc, [(1, 5), (0, 0), (1, 0)])
+        # Now node 0 overflows; file 0 masters at node 0 are oldest
+        # locally; node 1 holds older (file 5) blocks -> forward to node
+        # 1, which already holds replicas of file 0 -> merge.
+        self._fill_node(svc, 0, [1, 2])
+        layer = svc.layer
+        if layer.counters.get("forward_merged"):
+            for blk in layer.layout.blocks(0):
+                if layer.directory.lookup(blk) == 1:
+                    assert layer.caches[1].is_master(blk)
+        layer.check_invariants()
+
+
+class TestServiceFacade:
+    def test_blocks_for_mb(self):
+        assert blocks_for_mb(1.0) == 128  # 1024 KB / 8 KB
+        assert blocks_for_mb(0.001) == 1  # floor of 1
+
+    def test_mismatched_home_map_rejected(self):
+        from repro.cache import FileLayout, HomeMap
+        from repro.cluster import Cluster
+        from repro.core import CoopCacheLayer
+        from repro.params import DEFAULT_PARAMS
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        cluster = Cluster(sim, DEFAULT_PARAMS, 2)
+        layout = FileLayout([8.0, 8.0], DEFAULT_PARAMS)
+        with pytest.raises(ValueError):
+            CoopCacheLayer(cluster, layout, HomeMap(2, 3), 16)
+        with pytest.raises(ValueError):
+            CoopCacheLayer(cluster, layout, HomeMap(5, 2), 16)
+
+    def test_read_convenience(self):
+        svc = make()
+        p = svc.read(0, 0)
+        svc.run()
+        assert p.processed and p.ok
+
+    def test_resident_blocks(self):
+        svc = make()
+        read_seq(svc, [(0, 0), (1, 0)])
+        # 2 masters at node 0 + 2 replicas at node 1.
+        assert svc.layer.resident_blocks() == 4

@@ -1,0 +1,180 @@
+"""White-box tests for the middleware's trickier internals: disk-run
+splitting, forward-target choice, in-flight coalescing, the pending-
+master table, and the hint-chase path."""
+
+import pytest
+
+from repro.cache import BlockId
+from repro.core import CoopCacheService, variant
+from repro.core.middleware import REQUEST_MSG_KB
+
+
+def make(sizes, num_nodes=4, mem_mb=1.0, config=None):
+    return CoopCacheService(
+        file_sizes_kb=sizes,
+        num_nodes=num_nodes,
+        mem_mb_per_node=mem_mb,
+        config=config or variant("cc-kmc"),
+    )
+
+
+class TestRunSplitting:
+    def test_one_request_per_block(self):
+        svc = make([200.0])
+        blocks = list(svc.layer.layout.blocks(0))
+        runs = svc.layer._runs(blocks)
+        assert len(runs) == len(blocks)
+        assert all(r.nblocks == 1 for r in runs)
+
+    def test_runs_sorted_by_block(self):
+        svc = make([64.0])
+        blocks = list(svc.layer.layout.blocks(0))[::-1]  # reversed input
+        runs = svc.layer._runs(blocks)
+        assert [r.start_block for r in runs] == sorted(
+            b.index for b in blocks
+        )
+
+    def test_runs_carry_extent_and_partial_size(self):
+        svc = make([68.0])  # 9 blocks: 8 in extent 0, 1 (4 KB) in extent 1
+        runs = svc.layer._runs(list(svc.layer.layout.blocks(0)))
+        assert runs[-1].extent == 1
+        assert runs[-1].size_kb == pytest.approx(4.0)
+        assert runs[0].extent == 0
+
+
+class TestOldestPeerSelection:
+    def test_picks_strictly_older_peer(self):
+        svc = make([16.0] * 4)
+        layer = svc.layer
+        layer.caches[1].insert(BlockId(1, 0), master=True, age=5.0)
+        layer.caches[2].insert(BlockId(2, 0), master=True, age=2.0)
+        assert layer._oldest_peer(0, victim_age=10.0) == 2
+
+    def test_none_when_victim_globally_oldest(self):
+        svc = make([16.0] * 4)
+        layer = svc.layer
+        layer.caches[1].insert(BlockId(1, 0), master=True, age=5.0)
+        assert layer._oldest_peer(0, victim_age=1.0) is None
+
+    def test_excludes_self(self):
+        svc = make([16.0] * 4)
+        layer = svc.layer
+        layer.caches[0].insert(BlockId(1, 0), master=True, age=0.5)
+        assert layer._oldest_peer(0, victim_age=1.0) is None
+
+    def test_empty_peers_none(self):
+        svc = make([16.0] * 4)
+        assert svc.layer._oldest_peer(0, victim_age=1.0) is None
+
+
+class TestCoalescing:
+    def test_concurrent_same_node_requests_share_fetch(self):
+        svc = make([16.0])
+
+        def both():
+            a = svc.submit(svc.layer.read(svc.node(0), 0))
+            b = svc.submit(svc.layer.read(svc.node(0), 0))
+            yield svc.sim.all_of([a, b])
+
+        svc.submit(both())
+        svc.run()
+        c = svc.layer.counters
+        assert c.get("disk_read") == 2       # fetched once (2 blocks)
+        assert c.get("coalesced") == 2       # second request joined
+        assert c.get("local_hit") == 0
+
+    def test_inflight_table_drains(self):
+        svc = make([16.0])
+        svc.submit(svc.layer.read(svc.node(0), 0))
+        svc.run()
+        assert all(not t for t in svc.layer._inflight)
+
+    def test_pending_master_table_drains(self):
+        svc = make([16.0] * 3)
+        for f in range(3):
+            svc.submit(svc.layer.read(svc.node(f), f))
+        svc.run()
+        assert not svc.layer._pending_master
+
+
+class TestPendingMasterDedup:
+    def test_cross_node_concurrent_misses_read_disk_once(self):
+        svc = make([16.0], num_nodes=4)
+
+        def storm():
+            procs = [
+                svc.submit(svc.layer.read(svc.node(n), 0)) for n in range(4)
+            ]
+            yield svc.sim.all_of(procs)
+
+        svc.submit(storm())
+        svc.run()
+        c = svc.layer.counters
+        # One disk fetch; the other three nodes waited and then fetched
+        # remotely from the fresh master.
+        assert c.get("disk_read") == 2
+        assert c.get("waited_master") == 6  # 3 nodes x 2 blocks
+        assert c.get("remote_hit") >= 4
+        svc.layer.check_invariants()
+
+    def test_waited_blocks_excluded_from_master_race(self):
+        svc = make([16.0], num_nodes=4)
+
+        def storm():
+            procs = [
+                svc.submit(svc.layer.read(svc.node(n), 0)) for n in range(4)
+            ]
+            yield svc.sim.all_of(procs)
+
+        svc.submit(storm())
+        svc.run()
+        assert svc.layer.counters.get("master_race") == 0
+
+
+class TestHintChase:
+    def test_wrong_hint_chases_to_true_master(self):
+        from repro.core import CoopCacheConfig
+
+        # Accuracy 0: every routed lookup is wrong, but the chase path
+        # must still find the true master without re-reading disk.
+        cfg = CoopCacheConfig(directory="hints", hint_accuracy=0.0)
+        svc = CoopCacheService(
+            file_sizes_kb=[16.0] * 4, num_nodes=4, mem_mb_per_node=1.0,
+            config=cfg, seed=3,
+        )
+
+        def flow():
+            yield svc.submit(svc.layer.read(svc.node(0), 0))  # disk, master at 0
+            yield svc.submit(svc.layer.read(svc.node(1), 0))  # hinted wrong
+            yield svc.submit(svc.layer.read(svc.node(2), 0))
+
+        svc.submit(flow())
+        svc.run()
+        c = svc.layer.counters
+        # Only the first read touched disk; wrong hints bounced but the
+        # chase recovered remote hits (or the stale-negative hint sent
+        # the request straight to disk - allow either, but data must not
+        # be read from disk more than twice as often as the true misses).
+        assert c.get("disk_read") <= 4
+        svc.layer.check_invariants()
+
+
+class TestMessageSizes:
+    def test_perfect_directory_message_size(self):
+        svc = make([16.0])
+        assert svc.layer._msg_kb == REQUEST_MSG_KB
+
+    def test_touch_semantics_on_remote_hit(self):
+        svc = make([16.0] * 2)
+
+        def flow():
+            yield svc.submit(svc.layer.read(svc.node(0), 0))
+            yield svc.submit(svc.layer.read(svc.node(1), 0))
+
+        svc.submit(flow())
+        svc.run()
+        # Master copies at node 0 were touched by the peer hit: their
+        # age equals the later access time.
+        blk = BlockId(0, 0)
+        age = svc.layer.caches[0].age_of(blk)
+        assert age > 0.0

@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example must run and produce its output.
+
+Run as subprocesses with a tiny workload scale so the whole module stays
+fast; these guard the public API the examples demonstrate.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+SMALL_ENV = {
+    **os.environ,
+    "REPRO_SCALE": "0.005",
+    "REPRO_REQUESTS": "1200",
+    "REPRO_CLIENTS": "8",
+}
+
+
+def run_example(name, args=(), timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=SMALL_ENV,
+        cwd=str(EXAMPLES.parent),
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "aggregate hit rate" in proc.stdout
+        assert "protocol invariants OK" in proc.stdout
+
+    def test_webserver_comparison(self):
+        proc = run_example("webserver_comparison.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "press" in proc.stdout
+        assert "cc-kmc" in proc.stdout
+        assert "vs PRESS" in proc.stdout
+
+    def test_custom_service(self):
+        proc = run_example("custom_service.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "segment hit rate" in proc.stdout
+
+    def test_scalability(self):
+        proc = run_example("scalability.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+
+    def test_shared_workspace(self):
+        proc = run_example("shared_workspace.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "dirty blocks remaining:       0" in proc.stdout
+        assert "protocol invariants OK" in proc.stdout
+
+    def test_real_trace_embedded_log(self):
+        proc = run_example("real_trace.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "Trace characteristics" in proc.stdout
+        assert "4-node cluster" in proc.stdout
+
+    def test_real_trace_with_file(self, tmp_path):
+        log = tmp_path / "access_log"
+        log.write_text(
+            "\n".join(
+                f'h{i} - - [d] "GET /f{i % 5}.html HTTP/1.0" 200 {4096 * (1 + i % 3)}'
+                for i in range(200)
+            )
+        )
+        proc = run_example("real_trace.py", args=[str(log)])
+        assert proc.returncode == 0, proc.stderr
+        assert "parsing" in proc.stdout

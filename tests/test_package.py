@@ -1,0 +1,58 @@
+"""Package-level surface tests: imports, exports, docstrings."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.cluster",
+    "repro.cache",
+    "repro.core",
+    "repro.press",
+    "repro.web",
+    "repro.traces",
+    "repro.analytic",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_public_classes_have_docstrings():
+    from repro.cache import AgedLRU, BlockCache, FileLayout, GlobalDirectory
+    from repro.cluster import Cluster, Disk, Node
+    from repro.core import CoopCacheLayer, CoopCacheService
+    from repro.press import FileCache, PressServer
+    from repro.sim import ServiceCenter, Simulator
+    from repro.web import ClosedLoopDriver, CoopCacheWebServer
+
+    for cls in (AgedLRU, BlockCache, FileLayout, GlobalDirectory, Cluster,
+                Disk, Node, CoopCacheLayer, CoopCacheService, FileCache,
+                PressServer, ServiceCenter, Simulator, ClosedLoopDriver,
+                CoopCacheWebServer):
+        assert cls.__doc__, f"{cls.__name__} lacks a docstring"
+        for name, member in vars(cls).items():
+            if name.startswith("_") or not callable(member):
+                continue
+            assert getattr(member, "__doc__", None), (
+                f"{cls.__name__}.{name} lacks a docstring"
+            )

@@ -1,0 +1,142 @@
+"""Reference-model property tests for the disk and the PRESS file cache.
+
+Each test replays a random operation sequence through the real component
+and through a deliberately naive reference implementation, asserting
+agreement — the hypothesis-driven analogue of the AgedLRU model test.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import FIFO, Disk, DiskRequest
+from repro.params import DEFAULT_PARAMS
+from repro.press import FileCache, ReplicaDirectory
+from repro.sim import Simulator
+
+
+class TestDiskSeekAccountingModel:
+    """Under FIFO, seek accounting must match a simple positional model."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # file id
+                st.integers(min_value=0, max_value=15),  # block index
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_matches_reference_head_model(self, accesses):
+        sim = Simulator()
+        disk = Disk(sim, "d", DEFAULT_PARAMS, discipline=FIFO)
+        bpe = DEFAULT_PARAMS.extent_kb // DEFAULT_PARAMS.block_kb
+        for f, blk in accesses:
+            disk.submit(DiskRequest(f, blk // bpe, blk, 1, 8.0))
+        sim.run()
+
+        # Reference: a head position (file, extent, next_block); an access
+        # is contiguous iff it starts exactly at the head position.
+        head = None
+        exp_seeks = exp_contig = 0
+        for f, blk in accesses:
+            pos = (f, blk // bpe, blk)
+            if head == pos:
+                exp_contig += 1
+            else:
+                exp_seeks += 1
+            head = (f, blk // bpe, blk + 1)
+
+        assert disk.seeks == exp_seeks
+        assert disk.contiguous_hits == exp_contig
+        assert disk.completed == len(accesses)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_total_time_decomposes_into_seeks_and_transfer(self, accesses):
+        sim = Simulator()
+        disk = Disk(sim, "d", DEFAULT_PARAMS, discipline=FIFO)
+        bpe = DEFAULT_PARAMS.extent_kb // DEFAULT_PARAMS.block_kb
+        for f, blk in accesses:
+            disk.submit(DiskRequest(f, blk // bpe, blk, 1, 8.0))
+        sim.run()
+        d = DEFAULT_PARAMS.disk
+        expected = (
+            disk.seeks * (d.seek_ms + d.metadata_seek_ms)
+            + len(accesses) * 8.0 * d.transfer_per_kb_ms
+        )
+        # Busy time == service time (single server, work-conserving).
+        assert disk.reads_kb == pytest.approx(8.0 * len(accesses))
+        assert sim.now == pytest.approx(expected, rel=1e-9)
+
+
+class TestFileCacheModel:
+    """FileCache vs a naive dict-based reference with the same policy."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "touch", "drop"]),
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from([10.0, 25.0, 40.0]),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_and_directory_invariants(self, ops):
+        directory = ReplicaDirectory()
+        caches = [FileCache(i, 100.0, directory) for i in range(2)]
+        model = [dict(), dict()]  # node -> {file: size}
+
+        for op, f, size in ops:
+            node = f % 2
+            cache, m = caches[node], model[node]
+            if op == "insert" and f not in m:
+                evicted = cache.insert(f, size)
+                for ev in evicted:
+                    del m[ev]
+                m[f] = size
+            elif op == "touch" and f in m:
+                cache.touch(f)
+            elif op == "drop" and f in m:
+                cache.drop(f)
+                del m[f]
+
+            for n in range(2):
+                # Used bytes match the model exactly.
+                assert caches[n].used_kb == pytest.approx(
+                    sum(model[n].values())
+                )
+                assert caches[n].used_kb <= caches[n].capacity_kb + 1e-9
+                assert set(caches[n].lru_order()) == set(model[n])
+            # Directory agrees with residency.
+            for fid in range(10):
+                holders = directory.holders(fid)
+                expected = {n for n in range(2) if fid in model[n]}
+                assert holders == expected
+
+    def test_dereplication_preference_invariant(self):
+        # Whenever an eviction happens while some resident file has a
+        # copy elsewhere, the evicted file must be such a file.
+        directory = ReplicaDirectory()
+        a = FileCache(0, 100.0, directory)
+        b = FileCache(1, 100.0, directory)
+        a.insert(1, 40.0)
+        a.insert(2, 40.0)
+        b.insert(2, 40.0)  # file 2 replicated
+        evicted = a.insert(3, 40.0)
+        assert evicted == [2]
+        # And when nothing is replicated, plain LRU applies.
+        evicted = a.insert(4, 40.0)
+        assert evicted and directory.copies(evicted[0]) == 0

@@ -1,0 +1,74 @@
+"""Tests for per-service-class response accounting (Figure 5 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.traces import Trace, TraceSpec
+
+
+def make_trace(n_files=10, n_requests=300, seed=6):
+    rng = np.random.default_rng(seed)
+    reqs = (rng.random(n_requests) ** 2 * n_files).astype(int)
+    return Trace(
+        spec=TraceSpec("t", n_files, n_requests, 16.0),
+        sizes_kb=np.full(n_files, 16.0),
+        requests=np.clip(reqs, 0, n_files - 1),
+    )
+
+
+def run(system, **kw):
+    return run_experiment(
+        ExperimentConfig(
+            system=system,
+            trace=make_trace(),
+            num_nodes=4,
+            mem_mb_per_node=0.25,
+            num_clients=8,
+            **kw,
+        )
+    )
+
+
+class TestResponseByClass:
+    def test_cc_classes_present(self):
+        res = run("cc-kmc")
+        by_class = res.workload.response_by_class_ms
+        assert set(by_class) <= {"local", "remote", "disk"}
+        assert "local" in by_class  # hot files repeat
+        assert all(v > 0 for v in by_class.values())
+
+    def test_class_counts_sum_to_measured(self):
+        res = run("cc-kmc")
+        w = res.workload
+        assert sum(w.requests_by_class.values()) == w.measured_requests
+
+    def test_disk_requests_slower_than_local(self):
+        res = run("cc-kmc")
+        by_class = res.workload.response_by_class_ms
+        if "disk" in by_class and "local" in by_class:
+            assert by_class["disk"] > by_class["local"]
+
+    def test_remote_between_local_and_disk(self):
+        res = run("cc-kmc")
+        by_class = res.workload.response_by_class_ms
+        if {"local", "remote", "disk"} <= set(by_class):
+            assert by_class["local"] < by_class["remote"] < by_class["disk"]
+
+    def test_press_classes_present(self):
+        res = run("press")
+        by_class = res.workload.response_by_class_ms
+        assert set(by_class) <= {"local", "remote", "disk", "coalesced"}
+        assert sum(res.workload.requests_by_class.values()) == (
+            res.workload.measured_requests
+        )
+
+    def test_mean_is_weighted_average_of_classes(self):
+        res = run("cc-kmc")
+        w = res.workload
+        total = sum(
+            w.response_by_class_ms[c] * w.requests_by_class[c]
+            for c in w.response_by_class_ms
+        )
+        n = sum(w.requests_by_class.values())
+        assert total / n == pytest.approx(w.mean_response_ms, rel=1e-9)

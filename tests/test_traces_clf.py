@@ -1,0 +1,100 @@
+"""Tests for the Common Log Format parser."""
+
+import numpy as np
+import pytest
+
+from repro.traces import parse_clf_line, parse_clf_lines
+
+GOOD = '192.168.0.1 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245'
+
+
+class TestParseLine:
+    def test_good_line(self):
+        rec = parse_clf_line(GOOD)
+        assert rec is not None
+        assert rec.url == "/history/apollo/"
+        assert rec.status == 200
+        assert rec.size_bytes == 6245
+
+    def test_post_rejected(self):
+        line = GOOD.replace("GET", "POST")
+        assert parse_clf_line(line) is None
+
+    def test_query_string_stripped(self):
+        line = GOOD.replace("/history/apollo/", "/cgi?q=1")
+        rec = parse_clf_line(line)
+        assert rec.url == "/cgi"
+
+    def test_fragment_stripped(self):
+        line = GOOD.replace("/history/apollo/", "/page.html#top")
+        assert parse_clf_line(line).url == "/page.html"
+
+    def test_dash_size(self):
+        line = GOOD.replace("6245", "-")
+        rec = parse_clf_line(line)
+        assert rec.size_bytes == 0
+
+    def test_malformed_lines(self):
+        assert parse_clf_line("") is None
+        assert parse_clf_line("garbage") is None
+        assert parse_clf_line('h - - [d] "GET" 200 5') is None  # no URL
+        assert parse_clf_line('h - - [d] "" 200 5') is None
+
+    def test_hostnames_with_spaces_rejected_cleanly(self):
+        assert parse_clf_line('a b c d e f g') is None
+
+
+class TestParseLines:
+    def make_log(self):
+        return [
+            'h1 - - [d] "GET /a.html HTTP/1.0" 200 1024',
+            'h2 - - [d] "GET /b.gif HTTP/1.0" 200 2048',
+            'h3 - - [d] "GET /a.html HTTP/1.0" 304 0',       # revalidation
+            'h4 - - [d] "GET /a.html HTTP/1.0" 200 1024',
+            'h5 - - [d] "GET /missing HTTP/1.0" 404 300',     # filtered
+            'h6 - - [d] "POST /form HTTP/1.0" 200 100',       # filtered
+            "malformed line",
+        ]
+
+    def test_builds_trace(self):
+        t = parse_clf_lines(self.make_log(), name="test")
+        assert t.num_files == 2
+        assert t.num_requests == 4  # three /a.html (incl. 304) + one /b.gif
+        assert t.spec.name == "test"
+
+    def test_sizes_in_kb_max_observed(self):
+        lines = [
+            'h - - [d] "GET /a HTTP/1.0" 200 512',
+            'h - - [d] "GET /a HTTP/1.0" 200 2048',  # larger observation
+        ]
+        t = parse_clf_lines(lines)
+        assert t.sizes_kb[0] == pytest.approx(2.0)
+
+    def test_304_only_files_dropped(self):
+        lines = [
+            'h - - [d] "GET /a HTTP/1.0" 200 1024',
+            'h - - [d] "GET /never200 HTTP/1.0" 304 0',
+        ]
+        t = parse_clf_lines(lines)
+        assert t.num_files == 1
+        assert t.num_requests == 1
+
+    def test_empty_log_raises(self):
+        with pytest.raises(ValueError):
+            parse_clf_lines(["junk", ""])
+
+    def test_all_sizeless_raises(self):
+        with pytest.raises(ValueError):
+            parse_clf_lines(['h - - [d] "GET /x HTTP/1.0" 304 0'])
+
+    def test_request_stream_order_preserved(self):
+        t = parse_clf_lines(self.make_log())
+        # /a.html=0, /b.gif=1; order: a, b, a(304), a
+        assert list(t.requests) == [0, 1, 0, 0]
+
+    def test_interops_with_analysis(self):
+        from repro.traces import table2_row
+
+        row = table2_row(parse_clf_lines(self.make_log()))
+        assert row["num_files"] == 2
+        assert row["avg_request_kb"] > 0

@@ -1,0 +1,145 @@
+"""Tests for the web server layer and the closed-loop measurement driver."""
+
+import numpy as np
+import pytest
+
+from repro.cache.block import FileLayout
+from repro.cache.directory import HomeMap
+from repro.cluster import Cluster
+from repro.core import CoopCacheLayer, variant
+from repro.params import DEFAULT_PARAMS
+from repro.sim import Simulator
+from repro.traces import Trace, TraceSpec
+from repro.web import ClosedLoopDriver, CoopCacheWebServer
+
+
+def make_trace(n_files=8, n_requests=200, file_kb=16.0, seed=9):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        spec=TraceSpec("t", n_files, n_requests, file_kb),
+        sizes_kb=np.full(n_files, file_kb),
+        requests=rng.integers(0, n_files, size=n_requests),
+    )
+
+
+def make_stack(trace, num_nodes=4, capacity_blocks=64, config=None):
+    sim = Simulator()
+    cluster = Cluster(sim, DEFAULT_PARAMS, num_nodes)
+    layout = FileLayout(trace.sizes_kb, DEFAULT_PARAMS)
+    homes = HomeMap(layout.num_files, num_nodes)
+    layer = CoopCacheLayer(
+        cluster, layout, homes, capacity_blocks, config=config or variant("cc-kmc")
+    )
+    return sim, cluster, CoopCacheWebServer(layer)
+
+
+class TestCoopCacheWebServer:
+    def test_handle_charges_parse_serve_and_nic(self):
+        trace = make_trace(n_files=1, n_requests=1)
+        sim, cluster, server = make_stack(trace, num_nodes=1)
+        node = cluster.nodes[0]
+        done = sim.process(server.handle(node, 0))
+        sim.run()
+        assert done.ok
+        # CPU did parse + block ops + serve; NIC pushed the reply.
+        assert node.cpu.completed >= 3
+        assert node.nic.completed == 1
+
+    def test_reset_stats_clears_hit_counters(self):
+        trace = make_trace()
+        sim, cluster, server = make_stack(trace)
+        done = sim.process(server.handle(cluster.nodes[0], 0))
+        sim.run()
+        assert server.layer.counters.as_dict()
+        server.reset_stats()
+        assert server.layer.counters.as_dict() == {}
+
+    def test_hit_rates_passthrough(self):
+        trace = make_trace()
+        _, _, server = make_stack(trace)
+        assert server.hit_rates()["total"] == 0.0
+
+
+class TestClosedLoopDriver:
+    def run_driver(self, trace=None, num_clients=4, warmup_frac=0.25, **kw):
+        trace = trace or make_trace()
+        sim, cluster, server = make_stack(trace, **kw)
+        driver = ClosedLoopDriver(
+            sim, cluster, server, trace,
+            num_clients=num_clients, warmup_frac=warmup_frac,
+        )
+        return driver.run(), server, driver
+
+    def test_all_requests_processed(self):
+        trace = make_trace(n_requests=100)
+        result, _, driver = self.run_driver(trace, warmup_frac=0.0)
+        assert result.measured_requests == 100
+
+    def test_warmup_excluded_from_measurement(self):
+        trace = make_trace(n_requests=100)
+        result, _, _ = self.run_driver(trace, warmup_frac=0.25)
+        assert result.measured_requests == 75
+
+    def test_throughput_and_response_positive(self):
+        result, _, _ = self.run_driver()
+        assert result.throughput_rps > 0
+        assert result.mean_response_ms > 0
+        assert result.p50_ms <= result.p95_ms <= result.p99_ms
+
+    def test_utilization_keys(self):
+        result, _, _ = self.run_driver()
+        assert set(result.utilization) == {"cpu", "nic", "bus", "disk"}
+        assert all(0.0 <= v <= 1.0 for v in result.utilization.values())
+        assert all(
+            result.max_utilization[k] >= result.utilization[k] - 1e-9
+            for k in result.utilization
+        )
+
+    def test_deterministic(self):
+        r1, _, _ = self.run_driver()
+        r2, _, _ = self.run_driver()
+        assert r1.throughput_rps == r2.throughput_rps
+        assert r1.mean_response_ms == r2.mean_response_ms
+
+    def test_single_client_serializes_trace(self):
+        trace = make_trace(n_requests=30)
+        result, server, _ = self.run_driver(trace, num_clients=1,
+                                            warmup_frac=0.0)
+        assert result.measured_requests == 30
+        # One client -> no concurrency -> no coalescing.
+        assert server.layer.counters.get("coalesced") == 0
+
+    def test_more_clients_not_slower_wall_clock(self):
+        trace = make_trace(n_requests=200)
+        r1, _, _ = self.run_driver(trace, num_clients=1, warmup_frac=0.0)
+        r8, _, _ = self.run_driver(trace, num_clients=8, warmup_frac=0.0)
+        assert r8.throughput_rps >= r1.throughput_rps
+
+    def test_invalid_args(self):
+        trace = make_trace()
+        sim, cluster, server = make_stack(trace)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(sim, cluster, server, trace, num_clients=0)
+        with pytest.raises(ValueError):
+            ClosedLoopDriver(sim, cluster, server, trace, warmup_frac=1.0)
+
+    def test_client_failure_surfaces(self):
+        trace = make_trace()
+        sim, cluster, server = make_stack(trace)
+
+        class BrokenService:
+            def handle(self, node, file_id):
+                raise RuntimeError("service bug")
+                yield  # pragma: no cover
+
+            def reset_stats(self):
+                pass
+
+        driver = ClosedLoopDriver(sim, cluster, BrokenService(), trace,
+                                  num_clients=2)
+        with pytest.raises(RuntimeError, match="client process failed"):
+            driver.run()
+
+    def test_window_ms_positive(self):
+        result, _, _ = self.run_driver()
+        assert result.window_ms > 0
