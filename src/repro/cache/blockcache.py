@@ -109,6 +109,15 @@ class BlockCache:
         """Oldest non-master copy, or None if the cache holds only masters."""
         return self._nonmasters.oldest()
 
+    def masters(self) -> Tuple[BlockId, ...]:
+        """Read-only view of the resident master copies.
+
+        A snapshot tuple, so callers (invariant checks, debugging tools)
+        can iterate while the cache mutates and can never corrupt the
+        master set by accident.
+        """
+        return tuple(self._masters)
+
     # -- mutation -----------------------------------------------------------------
     def touch(self, block: BlockId, now: float) -> None:
         """Record an access to a resident block (refreshes its age)."""

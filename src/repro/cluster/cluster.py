@@ -52,6 +52,12 @@ class Cluster:
         self.network.reset_stats()
         self.router.reset_stats()
 
+    def bind_metrics(self, registry) -> None:
+        """Register every node's hardware and the LAN into ``registry``."""
+        for node in self.nodes:
+            node.bind_metrics(registry)
+        self.network.bind_metrics(registry)
+
     def utilization(self) -> Dict[str, float]:
         """Cluster-mean utilization per resource class (Figure 6a)."""
         per_node = [n.utilization() for n in self.nodes]

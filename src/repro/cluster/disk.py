@@ -141,6 +141,21 @@ class Disk:
         self.contiguous_hits = 0
         self.reads_kb = 0.0
 
+    def metrics(self) -> dict:
+        """Current head/seek statistics for the metrics registry."""
+        return {
+            "seeks": self.seeks,
+            "contiguous_hits": self.contiguous_hits,
+            "completed": self.completed,
+            "reads_kb": self.reads_kb,
+            "queue_length": len(self._queue),
+            "utilization": self.utilization.utilization(self.sim.now),
+        }
+
+    def bind_metrics(self, registry) -> None:
+        """Register this disk as a collector under its own name."""
+        registry.register_collector(self.name, self.metrics)
+
     # -- scheduling -----------------------------------------------------------
     def _select_index(self) -> int:
         """Pick the queue index to serve next under the active discipline."""

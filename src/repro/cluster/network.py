@@ -58,3 +58,11 @@ class Network:
         """Zero the traffic accounting counters."""
         self.bytes_kb = 0.0
         self.messages = 0
+
+    def metrics(self) -> dict:
+        """Current traffic totals for the metrics registry."""
+        return {"bytes_kb": self.bytes_kb, "messages": self.messages}
+
+    def bind_metrics(self, registry) -> None:
+        """Register LAN traffic accounting as a collector."""
+        registry.register_collector("network", self.metrics)

@@ -79,6 +79,15 @@ class Node:
         self.bus.reset_stats()
         self.disk.reset_stats()
 
+    def bind_metrics(self, registry) -> None:
+        """Register every hardware component into a shared
+        :class:`~repro.obs.metrics.MetricsRegistry` (collectors only:
+        nothing on the simulation hot path changes)."""
+        self.cpu.bind_metrics(registry)
+        self.nic.bind_metrics(registry)
+        self.bus.bind_metrics(registry)
+        self.disk.bind_metrics(registry)
+
     def utilization(self, now: Optional[float] = None) -> dict:
         """Per-component utilization over the current window (Figure 6a)."""
         t = self.sim.now if now is None else now

@@ -39,6 +39,7 @@ from ..cache.directory import GlobalDirectory, HomeMap
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
 from ..cluster.node import Node
+from ..obs.tracing import NULL_TRACER, Span
 from ..sim.engine import Event
 from ..sim.stats import CounterSet
 from .config import CoopCacheConfig
@@ -65,6 +66,7 @@ class CoopCacheLayer:
         capacity_blocks: int,
         config: Optional[CoopCacheConfig] = None,
         directory: Optional[GlobalDirectory] = None,
+        obs=None,
     ):
         if homes.num_nodes != len(cluster):
             raise ValueError("home map node count != cluster size")
@@ -82,6 +84,12 @@ class CoopCacheLayer:
         self.directory = directory if directory is not None else GlobalDirectory()
         #: Protocol event counters; block-level hits feed Figure 4.
         self.counters = CounterSet()
+        #: Request tracer (no-op unless an Observability bundle is given).
+        self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        if obs is not None:
+            self.counters.bind(obs.registry, "coopcache")
+            obs.registry.gauge("coopcache.resident_blocks",
+                               self.resident_blocks)
         # Per-node in-flight fetch table: concurrent requests for a block
         # already being fetched join the existing fetch instead of issuing
         # a duplicate disk/peer read (standard request coalescing).
@@ -110,7 +118,7 @@ class CoopCacheLayer:
     # public API
     # ------------------------------------------------------------------
     def read(
-        self, node: Node, file_id: int
+        self, node: Node, file_id: int, span: Optional[Span] = None
     ) -> Generator[Event, object, None]:
         """Coroutine: make every block of ``file_id`` readable at ``node``.
 
@@ -118,13 +126,14 @@ class CoopCacheLayer:
         returns once all blocks have been served locally, fetched from
         peers, or read from disk.  This is the middleware's whole public
         read path; a service that reads byte ranges can call
-        :meth:`read_blocks` directly.
+        :meth:`read_blocks` directly.  ``span`` is the request's trace
+        span (if the caller traces).
         """
         blocks = list(self.layout.blocks(file_id))
-        return (yield from self.read_blocks(node, blocks))
+        return (yield from self.read_blocks(node, blocks, span=span))
 
     def read_blocks(
-        self, node: Node, blocks: List[BlockId]
+        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
     ) -> Generator[Event, object, str]:
         """Coroutine: ensure ``blocks`` are served through ``node``.
 
@@ -138,7 +147,14 @@ class CoopCacheLayer:
         # "Process a file request": per-block bookkeeping on the CPU.
         yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
 
-        local, joined, by_peer, by_home = self._classify(node, blocks)
+        local, joined, by_peer, by_home = self._classify(node, blocks, span)
+
+        # The cache probe's outcome, as one point event on the trace.
+        self.tracer.point(
+            "probe", parent=span, node=node.node_id,
+            n=len(blocks), local=len(local), joined=len(joined),
+            peers=len(by_peer), homes=len(by_home),
+        )
 
         for blk in local:
             self.counters.incr("local_hit")
@@ -148,12 +164,14 @@ class CoopCacheLayer:
         for peer_id, wanted in by_peer.items():
             fetches.append(
                 self._spawn_fetch(
-                    node, wanted, self._fetch_from_peer(node, peer_id, wanted)
+                    node, wanted,
+                    self._fetch_from_peer(node, peer_id, wanted, parent=span),
                 )
             )
         for home_id, wanted in by_home.items():
             proc = self._spawn_fetch(
-                node, wanted, self._fetch_from_disk(node, home_id, wanted)
+                node, wanted,
+                self._fetch_from_disk(node, home_id, wanted, parent=span),
             )
             # Publish the pending reads *synchronously*: requests at
             # other nodes classified at this same instant must see them
@@ -207,7 +225,9 @@ class CoopCacheLayer:
     # ------------------------------------------------------------------
     # write path (paper Section 6 future work)
     # ------------------------------------------------------------------
-    def write(self, node: Node, file_id: int) -> Generator[Event, object, None]:
+    def write(
+        self, node: Node, file_id: int, span: Optional[Span] = None
+    ) -> Generator[Event, object, None]:
         """Coroutine: write every block of ``file_id`` at ``node``.
 
         Write-invalidate, single-writer semantics:
@@ -224,10 +244,10 @@ class CoopCacheLayer:
            dirty master is evicted or explicitly via :meth:`sync`.
         """
         blocks = list(self.layout.blocks(file_id))
-        yield from self.write_blocks(node, blocks)
+        yield from self.write_blocks(node, blocks, span=span)
 
     def write_blocks(
-        self, node: Node, blocks: List[BlockId]
+        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
     ) -> Generator[Event, object, None]:
         """Coroutine: whole-block writes of ``blocks`` at ``node``."""
         yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
@@ -259,7 +279,7 @@ class CoopCacheLayer:
                 cache.mark_dirty(blk)
         self.counters.incr("block_writes", len(blocks))
         if self.config.write_policy == "write-through":
-            yield from self._flush(node, blocks)
+            yield from self._flush(node, blocks, parent=span)
 
     def _acquire_master(
         self, node: Node, blk: BlockId
@@ -336,9 +356,13 @@ class CoopCacheLayer:
                     self.directory.clear_master(blk)
 
     def _flush(
-        self, node: Node, blocks: List[BlockId]
+        self, node: Node, blocks: List[BlockId],
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Write dirty blocks back to their home disks."""
+        span = self.tracer.start(
+            "writeback", parent=parent, node=node.node_id, n=len(blocks)
+        )
         cache = self.caches[node.node_id]
         by_home: Dict[int, List[BlockId]] = defaultdict(list)
         for blk in blocks:
@@ -355,6 +379,7 @@ class CoopCacheLayer:
             for blk in blks:
                 if blk in cache:
                     cache.clear_dirty(blk)
+        span.finish()
 
     def sync(self, node: Node) -> Generator[Event, object, None]:
         """Coroutine: flush every dirty master at ``node`` (write-back)."""
@@ -366,7 +391,7 @@ class CoopCacheLayer:
     # classification
     # ------------------------------------------------------------------
     def _classify(
-        self, node: Node, blocks: List[BlockId]
+        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
     ) -> Tuple[
         List[BlockId],
         List[Event],
@@ -374,7 +399,13 @@ class CoopCacheLayer:
         Dict[int, List[BlockId]],
     ]:
         """Split ``blocks`` into local hits, in-flight fetches to join,
-        per-peer fetches, and per-home disk reads, using the directory."""
+        per-peer fetches, and per-home disk reads, using the directory.
+
+        Joins of fetches owned by *other* requests leave a point event on
+        this request's trace (``coalesce`` / ``wait_master``) so every
+        non-local service class has a visible cause even when the actual
+        fetch span belongs to another trace.
+        """
         cache = self.caches[node.node_id]
         inflight = self._inflight[node.node_id]
         local: List[BlockId] = []
@@ -389,6 +420,7 @@ class CoopCacheLayer:
             if pending is not None:
                 # Another request at this node is already fetching it.
                 self.counters.incr("coalesced")
+                self.tracer.point("coalesce", parent=span, node=node.node_id)
                 joined.append(pending)
                 continue
             holder = self._route(blk)
@@ -401,9 +433,13 @@ class CoopCacheLayer:
                 # in flight: wait for it, then reclassify (usually a
                 # remote hit on the fresh master).
                 self.counters.incr("waited_master")
+                self.tracer.point(
+                    "wait_master", parent=span, node=node.node_id
+                )
                 joined.append(
                     self._spawn_fetch(
-                        node, [blk], self._retry_after(node, blk, pending_read)
+                        node, [blk],
+                        self._retry_after(node, blk, pending_read, parent=span),
                     )
                 )
                 continue
@@ -413,7 +449,8 @@ class CoopCacheLayer:
         return local, joined, dict(by_peer), dict(by_home)
 
     def _retry_after(
-        self, node: Node, blk: BlockId, pending: Event
+        self, node: Node, blk: BlockId, pending: Event,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Wait out another node's disk read, then re-resolve ``blk``.
 
@@ -431,21 +468,22 @@ class CoopCacheLayer:
             return
         holder = self._route(blk)
         if holder is not None and holder != node.node_id:
-            yield from self._fetch_from_peer(node, holder, [blk])
+            yield from self._fetch_from_peer(node, holder, [blk], parent=parent)
             return
         again = self._pending_master.get(blk)
         if again is not None and again is not pending:
-            yield from self._retry_after(node, blk, again)
+            yield from self._retry_after(node, blk, again, parent=parent)
             return
         yield from self._fetch_from_disk(
-            node, self.homes.home_of(blk.file_id), [blk]
+            node, self.homes.home_of(blk.file_id), [blk], parent=parent
         )
 
     # ------------------------------------------------------------------
     # peer fetch path (remote / global hit)
     # ------------------------------------------------------------------
     def _fetch_from_peer(
-        self, node: Node, peer_id: int, blocks: List[BlockId]
+        self, node: Node, peer_id: int, blocks: List[BlockId],
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Request non-master copies of ``blocks`` from ``peer_id``.
 
@@ -456,6 +494,10 @@ class CoopCacheLayer:
         peer = self.cluster.nodes[peer_id]
         peer_cache = self.caches[peer_id]
         net = self.cluster.network
+        span = self.tracer.start(
+            "peer_fetch", parent=parent, node=node.node_id,
+            peer=peer_id, n=len(blocks),
+        )
 
         # Request message: n -> m.
         yield from net.transfer(node, peer, self._msg_kb)
@@ -498,25 +540,35 @@ class CoopCacheLayer:
                 else:
                     by_home[self.homes.home_of(blk.file_id)].append(blk)
             fallback = [
-                self.sim.process(self._fetch_from_peer(node, h, blks))
+                self.sim.process(
+                    self._fetch_from_peer(node, h, blks, parent=span)
+                )
                 for h, blks in chase.items()
             ] + [
-                self.sim.process(self._fetch_from_disk(node, h, blks))
+                self.sim.process(
+                    self._fetch_from_disk(node, h, blks, parent=span)
+                )
                 for h, blks in by_home.items()
             ]
             yield self.sim.all_of(fallback)
+        span.finish(hits=len(present), misses=len(missing))
 
     # ------------------------------------------------------------------
     # disk path (miss)
     # ------------------------------------------------------------------
     def _fetch_from_disk(
-        self, node: Node, home_id: int, blocks: List[BlockId]
+        self, node: Node, home_id: int, blocks: List[BlockId],
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Read ``blocks`` from their home's disk; install masters at
         ``node``; update the directory."""
         home = self.cluster.nodes[home_id]
         net = self.cluster.network
         remote_home = home_id != node.node_id
+        span = self.tracer.start(
+            "disk_read", parent=parent, node=node.node_id,
+            home=home_id, n=len(blocks),
+        )
 
         done = self.sim.event()
         registered = [
@@ -551,6 +603,7 @@ class CoopCacheLayer:
                 yield from net.transfer(home, node, total_kb)
 
             yield from self._install(node, blocks, master=True)
+            span.finish(runs=len(runs))
         finally:
             for blk in registered:
                 if self._pending_master.get(blk) is done:
@@ -631,6 +684,12 @@ class CoopCacheLayer:
             raise RuntimeError("eviction requested on empty cache")
         blk, age, is_master = victim
         was_dirty = cache.is_dirty(blk)
+        # Emitted before removal so ``nonmasters`` reflects the state the
+        # policy decided on — the CC-KMC invariant test reads exactly this.
+        self.tracer.point(
+            "evict", node=node_id, master=is_master,
+            nonmasters=cache.num_nonmasters, policy=self.config.policy,
+        )
         cache.remove(blk)
         self.counters.incr("evictions")
         if not is_master:
@@ -664,6 +723,9 @@ class CoopCacheLayer:
     ) -> Generator[Event, object, None]:
         """Asynchronously write evicted dirty blocks to their homes."""
         node = self.cluster.nodes[node_id]
+        # Background cluster activity: a new root span, not tied to the
+        # request whose eviction triggered it (it outlives the request).
+        span = self.tracer.start("writeback", node=node_id, n=len(blocks))
         by_home: Dict[int, List[BlockId]] = defaultdict(list)
         for blk in blocks:
             by_home[self.homes.home_of(blk.file_id)].append(blk)
@@ -675,6 +737,7 @@ class CoopCacheLayer:
             for run in self._runs(blks):
                 yield home.disk.submit(run)
             self.counters.incr("flushed_blocks", len(blks))
+        span.finish()
 
     def _oldest_peer(self, node_id: int, victim_age: float) -> Optional[int]:
         """Peer holding the oldest block strictly older than the victim.
@@ -710,6 +773,9 @@ class CoopCacheLayer:
         src = self.cluster.nodes[src_id]
         dst = self.cluster.nodes[dst_id]
         size_kb = self.layout.block_size_kb(blk)
+        # Background activity: its own root span (outlives the evicting
+        # request), closed with the forward's outcome.
+        span = self.tracer.start("forward", node=src_id, dst=dst_id)
         yield from self.cluster.network.transfer(src, dst, size_kb)
         # "Process an evicted master block" at the destination.
         yield dst.cpu.submit(self.params.cpu.evicted_master_ms)
@@ -722,6 +788,7 @@ class CoopCacheLayer:
             # re-mastered block was re-read from disk, so a stale dirty
             # copy would carry *newer* data: flush it.
             self.counters.incr("forward_stale")
+            span.finish(outcome="stale")
             if dirty:
                 self.sim.process(self._writeback_evicted(dst_id, [blk]))
             return
@@ -733,10 +800,12 @@ class CoopCacheLayer:
             if dirty:
                 cache.mark_dirty(blk)
             self.counters.incr("forward_merged")
+            span.finish(outcome="merged")
             return
         if cache.oldest_age() >= age:
             # Everything here is younger: the forwarded block is dropped.
             self.counters.incr("forward_dropped")
+            span.finish(outcome="dropped")
             if self.directory.lookup(blk) == dst_id:
                 self.directory.clear_master(blk)
             if dirty:
@@ -756,6 +825,7 @@ class CoopCacheLayer:
         if dirty:
             cache.mark_dirty(blk)
         self.counters.incr("forward_installed")
+        span.finish(outcome="installed")
 
     # ------------------------------------------------------------------
     # introspection
@@ -793,7 +863,7 @@ class CoopCacheLayer:
         for cache in self.caches:
             if len(cache) > cache.capacity_blocks:
                 raise AssertionError(f"cache {cache.node_id} over capacity")
-            for blk in list(cache._masters):  # noqa: SLF001 - invariant check
+            for blk in cache.masters():
                 if blk in seen:
                     raise AssertionError(
                         f"{blk} mastered at both {seen[blk]} and {cache.node_id}"

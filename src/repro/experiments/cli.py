@@ -8,6 +8,10 @@ Usage::
     python -m repro.experiments.cli a4 a6
     python -m repro.experiments.cli all          # everything (minutes)
 
+    # One observable experiment: trace + metrics + sampled invariants.
+    python -m repro.experiments.cli run --system cc-kmc --workload rutgers \\
+        --trace trace.jsonl --metrics-out metrics.json --invariant-every 1000
+
 Workload scale is controlled by the usual environment knobs
 (``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
 ``REPRO_FULL``).
@@ -15,13 +19,14 @@ Workload scale is controlled by the usual environment knobs
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Callable, Dict
 
 from . import ablations, defaults, figures, tables
 from .report import banner
 
-__all__ = ["ARTIFACTS", "main"]
+__all__ = ["ARTIFACTS", "main", "run_command"]
 
 #: artifact name -> zero-argument renderer.
 ARTIFACTS: Dict[str, Callable[[], str]] = {
@@ -46,9 +51,105 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
 }
 
 
+def _positive(convert):
+    def parse(text: str):
+        value = convert(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be positive, got {text}")
+        return value
+
+    return parse
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _run_parser() -> argparse.ArgumentParser:
+    from ..traces.datasets import TRACE_NAMES
+    from .runner import SYSTEMS
+
+    p = argparse.ArgumentParser(
+        prog="repro-experiments run",
+        description="Run one observable experiment point.",
+    )
+    p.add_argument("--system", default="cc-kmc",
+                   choices=list(SYSTEMS), help="server variant")
+    p.add_argument("--workload", default="rutgers", choices=list(TRACE_NAMES),
+                   help="trace name (scaled per REPRO_SCALE)")
+    p.add_argument("--mem-mb", type=_positive(float), default=None,
+                   help="per-node memory MB (default: 32 x scale)")
+    p.add_argument("--nodes", type=_positive(int), default=8,
+                   help="cluster size")
+    p.add_argument("--clients", type=_positive(int), default=None,
+                   help="closed-loop clients (default: REPRO_CLIENTS)")
+    p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write per-request span trace as JSONL to FILE")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write the metrics-registry snapshot (JSON) to FILE")
+    p.add_argument("--invariant-every", type=_non_negative_int, default=0,
+                   metavar="N",
+                   help="sample check_invariants every N kernel events "
+                        "(middleware systems; 0 = off)")
+    return p
+
+
+def run_command(argv) -> int:
+    """``run`` subcommand: one experiment with observability attached."""
+    from ..obs import Observability
+    from .runner import ExperimentConfig, run_experiment
+
+    opts = _run_parser().parse_args(argv)
+    trace = defaults.workload(opts.workload)
+    cfg = ExperimentConfig(
+        system=opts.system,
+        trace=trace,
+        num_nodes=opts.nodes,
+        mem_mb_per_node=(
+            opts.mem_mb if opts.mem_mb is not None else 32.0 * defaults.SCALE
+        ),
+        num_clients=opts.clients or defaults.NUM_CLIENTS,
+        seed=opts.seed,
+    )
+    obs = Observability(
+        trace=opts.trace is not None,
+        invariant_every=opts.invariant_every,
+    )
+    result = run_experiment(cfg, obs=obs)
+
+    print(banner(f"run {cfg.system_name()} / {opts.workload}"))
+    print(f"throughput        {result.throughput_rps:.1f} req/s")
+    print(f"mean response     {result.mean_response_ms:.2f} ms")
+    for cls in sorted(result.workload.response_by_class_ms):
+        print(f"  {cls:<10} {result.workload.response_by_class_ms[cls]:8.2f} ms"
+              f"  x{result.workload.requests_by_class[cls]}")
+    hr = result.hit_rates
+    print(f"hit rates         local={hr['local']:.3f} remote={hr['remote']:.3f} "
+          f"disk={hr['disk']:.3f}")
+    if obs.sampler is not None:
+        print(f"invariant checks  {obs.sampler.checks_run} "
+              f"(every {obs.sampler.every} of {obs.sampler.events_seen} events)")
+    elif opts.invariant_every:
+        print("invariant checks  n/a (no middleware layer in this system)")
+    if opts.trace:
+        obs.tracer.dump_jsonl(opts.trace)
+        print(f"trace             {len(obs.tracer.records)} spans -> "
+              f"{opts.trace} (sha256 {obs.tracer.digest()[:16]}...)")
+    if opts.metrics_out:
+        obs.registry.dump(opts.metrics_out)
+        print(f"metrics           -> {opts.metrics_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     """Render the requested artifacts to stdout; returns an exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "run":
+        return run_command(args[1:])
     if not args or args == ["list"]:
         print(__doc__)
         print("artifacts:", " ".join(ARTIFACTS))

@@ -82,7 +82,7 @@ class ExperimentResult:
 
 
 def _build_cc(
-    cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig
+    cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig, obs=None
 ):
     cluster = Cluster(
         sim, cfg.params, cfg.num_nodes, disk_discipline=config.disk_discipline
@@ -101,34 +101,54 @@ def _build_cc(
         capacity_blocks=blocks_for_mb(cfg.mem_mb_per_node, cfg.params),
         config=config,
         directory=directory,
+        obs=obs,
     )
-    return cluster, CoopCacheWebServer(layer)
+    return cluster, CoopCacheWebServer(layer, obs=obs)
 
 
-def _build_press(cfg: ExperimentConfig, sim: Simulator):
+def _build_press(cfg: ExperimentConfig, sim: Simulator, obs=None):
     # PRESS always schedules its disk queue (it is the tuned baseline).
     cluster = Cluster(sim, cfg.params, cfg.num_nodes, disk_discipline=SCAN)
     layout = FileLayout(cfg.trace.sizes_kb, cfg.params)
     server = PressServer(
-        cluster, layout, capacity_kb=cfg.mem_mb_per_node * 1024.0
+        cluster, layout, capacity_kb=cfg.mem_mb_per_node * 1024.0, obs=obs
     )
     return cluster, server
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Simulate one point and return its steady-state measurements."""
+def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
+    """Simulate one point and return its steady-state measurements.
+
+    ``obs`` is an optional :class:`~repro.obs.Observability` bundle: its
+    tracer records every request as a span tree, its registry collects
+    every component's metrics, and — for the middleware systems — a
+    positive ``obs.invariant_every`` samples
+    :meth:`~repro.core.CoopCacheLayer.check_invariants` every N kernel
+    events.  After the call, dump ``obs.tracer`` / ``obs.registry``.
+    """
     sim = Simulator()
+    if obs is not None:
+        obs.attach(sim)
     if isinstance(cfg.system, CoopCacheConfig):
-        cluster, service = _build_cc(cfg, sim, cfg.system)
+        cluster, service = _build_cc(cfg, sim, cfg.system, obs=obs)
     elif cfg.system == "press":
-        cluster, service = _build_press(cfg, sim)
+        cluster, service = _build_press(cfg, sim, obs=obs)
     elif cfg.system in SYSTEMS:
-        cluster, service = _build_cc(cfg, sim, variant(cfg.system))
+        cluster, service = _build_cc(cfg, sim, variant(cfg.system), obs=obs)
     else:
         raise ValueError(
             f"unknown system {cfg.system!r}; choose from {SYSTEMS} "
             "or pass a CoopCacheConfig"
         )
+    if obs is not None:
+        cluster.bind_metrics(obs.registry)
+        if obs.invariant_every and hasattr(service, "layer"):
+            from ..obs import InvariantSampler
+
+            obs.sampler = InvariantSampler(
+                service.layer.check_invariants, obs.invariant_every
+            )
+            obs.sampler.attach(sim)
 
     driver = ClosedLoopDriver(
         sim,
@@ -137,6 +157,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         cfg.trace,
         num_clients=cfg.num_clients,
         warmup_frac=cfg.warmup_frac,
+        obs=obs,
     )
     workload = driver.run()
     return ExperimentResult(

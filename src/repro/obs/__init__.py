@@ -1,0 +1,75 @@
+"""Observability: metrics registry, request tracing, invariant sampling.
+
+The subsystem is strictly opt-in: every cluster component accepts an
+optional :class:`Observability` and, when none is given, falls back to
+no-op instruments (:data:`~repro.obs.tracing.NULL_TRACER`), so the
+simulation hot path is unchanged when observability is off.
+
+Typical use::
+
+    obs = Observability(trace=True, invariant_every=1_000)
+    result = run_experiment(cfg, obs=obs)
+    obs.tracer.dump_jsonl("trace.jsonl")
+    obs.registry.dump("metrics.json")
+
+See README.md § Observability for the trace schema and the golden-trace
+regression workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .invariants import InvariantSampler
+from .metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS_MS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "InvariantSampler",
+    "Observability",
+]
+
+
+class Observability:
+    """Bundle of one registry, one tracer and an invariant-sampling knob.
+
+    ``trace=False`` substitutes the null tracer, so span calls cost a
+    no-op method dispatch; the registry always exists (it is only read at
+    snapshot time).  ``invariant_every=0`` disables sampling entirely;
+    any N >= 1 makes the experiment runner attach an
+    :class:`InvariantSampler` over the middleware's ``check_invariants``.
+    """
+
+    def __init__(
+        self,
+        trace: bool = True,
+        invariant_every: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if invariant_every < 0:
+            raise ValueError("invariant_every must be >= 0")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer() if trace else NULL_TRACER
+        self.invariant_every = invariant_every
+        #: Set by the runner when sampling is active (for introspection).
+        self.sampler: Optional[InvariantSampler] = None
+
+    def attach(self, sim) -> None:
+        """Bind time-dependent pieces to a simulator's clock."""
+        self.tracer.attach(sim)

@@ -1,0 +1,225 @@
+"""A lightweight metrics registry for the simulation.
+
+Cluster components register into one shared :class:`MetricsRegistry`
+instead of growing ad-hoc instance counters.  Three instrument kinds
+cover everything the harness measures:
+
+* :class:`Counter` — monotonically increasing integers (hits, evictions,
+  completed requests);
+* :class:`Gauge` — a point-in-time value, either set explicitly or read
+  lazily from a callback at snapshot time (resident blocks, utilization);
+* :class:`Histogram` — bucketed observations with an optional *weight*,
+  so a value can be weighted by the simulated time it was held
+  (time-weighted queue lengths) or recorded plainly (response times).
+
+Components that already keep their own counters (e.g.
+:class:`~repro.sim.stats.CounterSet`) plug in through *collectors*:
+zero-cost callbacks the registry reads only when a snapshot is taken, so
+the simulation hot path pays nothing for observability.
+
+Snapshots are plain nested dicts with deterministically sorted keys, so
+``to_json()`` output is byte-for-byte reproducible for a given run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS_MS",
+]
+
+#: Default histogram bucket upper bounds (ms), log-ish spaced to cover a
+#: disk seek (~10 ms) up to badly queued responses (seconds).
+DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        """Add ``by`` (must be >= 0; counters never decrease)."""
+        if by < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += by
+
+
+class Gauge:
+    """A point-in-time value, set directly or computed by a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._value: float = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        """Record the current value (explicit gauges only)."""
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """Current value (callback gauges read their source lazily)."""
+        return self._fn() if self._fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with optional per-observation weights.
+
+    ``observe(x)`` counts one plain observation; ``observe(x, weight=dt)``
+    makes it *time-weighted* — the canonical use is integrating a queue
+    length or busy level over the simulated interval it was held.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "weight")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        #: Weighted count per bucket; the last bucket is the +inf overflow.
+        self.counts: List[float] = [0.0] * (len(bounds) + 1)
+        #: Unweighted number of observations.
+        self.count = 0
+        #: Weighted sum of observed values.
+        self.total = 0.0
+        #: Total weight observed.
+        self.weight = 0.0
+
+    def observe(self, x: float, weight: float = 1.0) -> None:
+        """Record value ``x`` with ``weight`` (default 1 = plain count)."""
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bucket whose bound >= x
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.counts[lo] += weight
+        self.count += 1
+        self.total += x * weight
+        self.weight += weight
+
+    @property
+    def mean(self) -> float:
+        """Weighted mean of observations (0.0 when empty)."""
+        return self.total / self.weight if self.weight else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Bucket table plus summary moments, deterministic key order."""
+        buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {
+            "buckets": buckets,
+            "count": self.count,
+            "sum": self.total,
+            "weight": self.weight,
+        }
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, histograms and collectors.
+
+    Instruments are get-or-create by name, so independent components can
+    share a counter without coordinating construction order.  Collectors
+    are read only at :meth:`snapshot` time.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    # -- instrument factories (get-or-create) -------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created at zero if new)."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        """The gauge called ``name``; ``fn`` makes it callback-backed."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name, fn)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS
+    ) -> Histogram:
+        """The histogram called ``name`` (bounds fixed at creation)."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    def register_collector(
+        self, prefix: str, fn: Callable[[], Dict[str, Any]]
+    ) -> None:
+        """Register ``fn`` whose dict is merged under ``prefix`` at
+        snapshot time — how components with existing counter bundles
+        (e.g. :class:`~repro.sim.stats.CounterSet`) join the registry
+        without paying anything on the hot path."""
+        if prefix in self._collectors:
+            raise ValueError(f"collector {prefix!r} already registered")
+        self._collectors[prefix] = fn
+
+    # -- export -------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic nested dict of every instrument's current state."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+            "collected": {
+                prefix: {
+                    k: v for k, v in sorted(self._collectors[prefix]().items())
+                }
+                for prefix in sorted(self._collectors)
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Snapshot as deterministic JSON (sorted keys, stable floats)."""
+        return json.dumps(
+            self.snapshot(), indent=indent, sort_keys=True, default=float
+        )
+
+    def dump(self, path) -> None:
+        """Write the JSON snapshot to ``path``."""
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(self.to_json() + "\n")

@@ -1,0 +1,228 @@
+"""Span-style request tracing with deterministic JSONL export.
+
+Every request the cluster serves becomes a *trace*: a root ``request``
+span plus child spans for each hop the protocol takes (cache probe, peer
+fetch, disk run, writeback, forward).  Timestamps are simulated
+milliseconds, so a trace answers "why was this request classified
+``disk``?" exactly — and, because the kernel is deterministic, two runs
+with the same seed produce byte-identical trace files, which is what the
+golden-trace regression harness snapshots.
+
+Design constraints:
+
+* **Near-zero cost when off** — protocol code calls the tracer
+  unconditionally; the :data:`NULL_TRACER` singleton makes every call a
+  no-op returning the shared :data:`NULL_SPAN`.
+* **Deterministic output** — span/trace ids are a simple monotone
+  sequence, records are emitted in finish order (which the kernel makes
+  deterministic), and JSON is serialized with sorted keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
+
+
+class Span:
+    """One timed hop of a request (or a zero-duration point event)."""
+
+    __slots__ = (
+        "_tracer", "trace_id", "span_id", "parent_id",
+        "name", "node", "start", "end", "attrs",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        node: Optional[int],
+        start: float,
+        attrs: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` ran (the record has been emitted)."""
+        return self.end is not None
+
+    def finish(self, **attrs: Any) -> None:
+        """Close the span at the current simulated time and emit it."""
+        if self.end is not None:
+            raise RuntimeError(f"span {self.span_id} ({self.name}) finished twice")
+        self.end = self._tracer._now()
+        if attrs:
+            self.attrs.update(attrs)
+        self._tracer._emit(self)
+
+    def to_record(self) -> Dict[str, Any]:
+        """The span as a flat, JSON-ready dict."""
+        rec: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        return rec
+
+
+class Tracer:
+    """Collects spans; exports deterministic JSONL.
+
+    ``clock`` supplies the current simulated time; bind it to a
+    :class:`~repro.sim.engine.Simulator` with :meth:`attach`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock or (lambda: 0.0)
+        self._records: List[Dict[str, Any]] = []
+        self._next_id = 0
+
+    def attach(self, sim) -> None:
+        """Read timestamps from ``sim`` from now on."""
+        self._clock = lambda: sim.now
+
+    def _now(self) -> float:
+        return self._clock()
+
+    def _emit(self, span: Span) -> None:
+        self._records.append(span.to_record())
+
+    # -- span creation ------------------------------------------------------
+    def start(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        node: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; a None/null parent starts a new trace."""
+        self._next_id += 1
+        span_id = self._next_id
+        if parent is None or parent is NULL_SPAN:
+            trace_id, parent_id = span_id, None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(
+            self, trace_id, span_id, parent_id, name, node, self._now(), attrs
+        )
+
+    def point(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        node: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """A zero-duration event (eviction, coalesce); emitted at once."""
+        span = self.start(name, parent=parent, node=node, **attrs)
+        span.finish()
+        return span
+
+    # -- export -------------------------------------------------------------
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished span records in emission order."""
+        return self._records
+
+    def clear(self) -> None:
+        """Drop all recorded spans (id sequence keeps counting)."""
+        self._records.clear()
+
+    def to_jsonl(self) -> str:
+        """One sorted-keys JSON object per line, emission order."""
+        return "".join(
+            json.dumps(rec, sort_keys=True, default=float) + "\n"
+            for rec in self._records
+        )
+
+    def dump_jsonl(self, path) -> None:
+        """Write the JSONL trace to ``path``."""
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(self.to_jsonl())
+
+    def digest(self) -> str:
+        """SHA-256 of the JSONL bytes — the golden-trace fingerprint."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+
+class _NullSpan:
+    """Shared inert span: every mutation is a no-op."""
+
+    __slots__ = ()
+    trace_id = 0
+    span_id = 0
+    parent_id = None
+    name = "null"
+    node = None
+    start = 0.0
+    end = 0.0
+    attrs: Dict[str, Any] = {}
+    finished = True
+
+    def finish(self, **attrs: Any) -> None:
+        pass
+
+    def to_record(self) -> Dict[str, Any]:
+        return {}
+
+
+#: The span NullTracer hands out; safe to finish any number of times.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: all operations are no-ops returning NULL_SPAN."""
+
+    enabled = False
+
+    def attach(self, sim) -> None:
+        pass
+
+    def start(self, name, parent=None, node=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def point(self, name, parent=None, node=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def dump_jsonl(self, path) -> None:
+        pass
+
+    def digest(self) -> str:
+        return hashlib.sha256(b"").hexdigest()
+
+
+#: Process-wide disabled tracer (components default to this).
+NULL_TRACER = NullTracer()

@@ -142,3 +142,15 @@ class FileCache:
     def lru_order(self) -> List[int]:
         """Resident files, oldest first (for tests and introspection)."""
         return list(self._lru)
+
+    def metrics(self) -> Dict[str, float]:
+        """Current occupancy for the metrics registry."""
+        return {
+            "files": float(len(self._lru)),
+            "used_kb": self.used_kb,
+            "free_kb": self.free_kb,
+        }
+
+    def bind_metrics(self, registry) -> None:
+        """Register occupancy as a collector under ``press.cacheN``."""
+        registry.register_collector(f"press.cache{self.node_id}", self.metrics)

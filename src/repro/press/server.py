@@ -35,6 +35,7 @@ from ..cache.block import FileLayout
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
 from ..cluster.node import Node
+from ..obs.tracing import NULL_TRACER, Span
 from ..params import SimParams
 from ..sim.engine import Event
 from ..sim.stats import CounterSet
@@ -56,6 +57,7 @@ class PressServer:
         capacity_kb: float,
         replicate_threshold: int = 8,
         replicate_headroom: int = 4,
+        obs=None,
     ):
         """``replicate_threshold``: serving-node load (queued jobs) above
         which PRESS considers a file hot enough to replicate;
@@ -76,6 +78,16 @@ class PressServer:
         self.replicate_threshold = replicate_threshold
         self.replicate_headroom = replicate_headroom
         self.counters = CounterSet()
+        #: Request tracer (no-op unless an Observability bundle is given).
+        self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._registry = obs.registry if obs is not None else None
+        if obs is not None:
+            self.counters.bind(obs.registry, "press")
+            for cache in self.caches:
+                cache.bind_metrics(obs.registry)
+            obs.registry.gauge(
+                "press.resident_files", self.resident_files
+            )
         # file_id -> (adopting node id, completion event): requests for a
         # file already being read from disk queue at the adopting node
         # instead of issuing duplicate reads (PRESS funnels all requests
@@ -93,6 +105,7 @@ class PressServer:
         "coalesced" / "disk") for per-class response accounting.
         """
         cpu = self.params.cpu
+        span = self.tracer.start("request", node=node.node_id, file=file_id)
         yield node.cpu.submit(cpu.parse_ms)
 
         nblocks = self.layout.num_blocks(file_id)
@@ -101,15 +114,15 @@ class PressServer:
         if node.node_id in holders:
             self.counters.incr("local_hit", nblocks)
             yield from self._serve_from_memory(node, node, file_id)
-            return "local"
+            return self._finish(span, "local")
 
         if holders:
             target = self.cluster.nodes[self._least_loaded(holders)]
             self.counters.incr("remote_hit", nblocks)
             self.counters.incr("forwarded_requests")
             yield from self._forward_and_serve(node, target, file_id,
-                                               from_disk=False)
-            return "remote"
+                                               from_disk=False, parent=span)
+            return self._finish(span, "remote")
 
         pending = self._adopting.get(file_id)
         if pending is not None:
@@ -117,6 +130,9 @@ class PressServer:
             # at the adopting node and serve once the read lands.
             target_id, done = pending
             self.counters.incr("coalesced", nblocks)
+            self.tracer.point(
+                "coalesce", parent=span, node=node.node_id, target=target_id
+            )
             target = self.cluster.nodes[target_id]
             if target_id != node.node_id:
                 self.counters.incr("forwarded_requests")
@@ -128,37 +144,51 @@ class PressServer:
                 yield done
             reply_via = target if self.params.press_tcp_handoff else node
             yield from self._serve_from_memory(target, reply_via, file_id)
-            return "coalesced"
+            return self._finish(span, "coalesced")
 
         # Cached nowhere: the least-loaded node reads it from its local disk
         # (files are replicated on every node's disk) and adopts the file.
         target_id = self._least_loaded(range(len(self.cluster)))
         self.counters.incr("disk_read", nblocks)
         if target_id == node.node_id:
-            yield from self._read_from_disk(node, file_id)
+            yield from self._read_from_disk(node, file_id, parent=span)
             yield from self._serve_from_memory(node, node, file_id)
         else:
             self.counters.incr("forwarded_requests")
             yield from self._forward_and_serve(
-                node, self.cluster.nodes[target_id], file_id, from_disk=True
+                node, self.cluster.nodes[target_id], file_id,
+                from_disk=True, parent=span,
             )
-        return "disk"
+        return self._finish(span, "disk")
+
+    def _finish(self, span: Span, service_class: str) -> str:
+        """Close a request span and count its class in the registry."""
+        span.finish(cls=service_class)
+        if self._registry is not None:
+            self._registry.counter(f"requests_{service_class}").incr()
+        return service_class
 
     def _forward_and_serve(
-        self, entry: Node, target: Node, file_id: int, *, from_disk: bool
+        self, entry: Node, target: Node, file_id: int, *, from_disk: bool,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Hand the request from ``entry`` to ``target`` and serve it."""
         cpu = self.params.cpu
+        span = self.tracer.start(
+            "forward", parent=parent, node=entry.node_id,
+            target=target.node_id,
+        )
         yield entry.cpu.submit(cpu.forward_request_ms)
         yield from self.cluster.network.transfer(entry, target, FORWARD_MSG_KB)
         if from_disk:
-            yield from self._read_from_disk(target, file_id)
+            yield from self._read_from_disk(target, file_id, parent=span)
         if self.params.press_tcp_handoff:
             # Hand-off: the reply leaves the serving node directly.
             yield from self._serve_from_memory(target, target, file_id)
         else:
             # Relay: serving node sends to the entry node, which replies.
             yield from self._serve_from_memory(target, entry, file_id)
+        span.finish()
 
     # ------------------------------------------------------------------
     # data paths
@@ -179,17 +209,21 @@ class PressServer:
         self._maybe_replicate(server, file_id)
 
     def _read_from_disk(
-        self, node: Node, file_id: int
+        self, node: Node, file_id: int, parent: Optional[Span] = None
     ) -> Generator[Event, object, None]:
         """Whole-file read from ``node``'s local disk + cache adoption."""
         done = self.sim.event()
         self._adopting[file_id] = (node.node_id, done)
+        span = self.tracer.start(
+            "disk_read", parent=parent, node=node.node_id, file=file_id
+        )
         try:
             size_kb = self.layout.size_kb(file_id)
             runs = self._extent_runs(file_id)
             yield self.sim.all_of([node.disk.submit(run) for run in runs])
             yield node.bus.submit(self.params.bus.transfer_ms(size_kb))
             self._cache_file(node.node_id, file_id)
+            span.finish(runs=len(runs))
         finally:
             self._adopting.pop(file_id, None)
             done.succeed()
@@ -258,12 +292,17 @@ class PressServer:
         """Background copy of a hot file to a lightly loaded node."""
         dst = self.cluster.nodes[dst_id]
         size_kb = self.layout.size_kb(file_id)
+        # Background activity: its own root span, like middleware forwards.
+        span = self.tracer.start(
+            "replicate", node=src.node_id, dst=dst_id, file=file_id
+        )
         yield src.cpu.submit(self.params.cpu.serve_peer_block_ms)
         yield from self.cluster.network.transfer(src, dst, size_kb)
         yield dst.cpu.submit(self.params.cpu.cache_block_ms
                              * self.layout.num_blocks(file_id))
         if file_id not in self.caches[dst_id]:
             self._cache_file(dst_id, file_id)
+        span.finish()
 
     # ------------------------------------------------------------------
     # measurement interface

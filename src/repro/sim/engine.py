@@ -230,13 +230,16 @@ class Simulator:
     deterministic regardless of heap internals.
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_event_count")
+    __slots__ = ("_now", "_heap", "_seq", "_event_count", "_step_hooks")
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[Any] = []
         self._seq = 0
         self._event_count = 0
+        # Observability hooks fired after each processed event; empty on
+        # the hot path (one truthiness check per step when unused).
+        self._step_hooks: List[Callable[["Simulator"], None]] = []
 
     @property
     def now(self) -> float:
@@ -289,12 +292,29 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
+    # -- observability hooks -------------------------------------------------
+    def add_step_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Call ``hook(sim)`` after every processed event.
+
+        This is the attachment point for samplers and tracers (see
+        :mod:`repro.obs`); hooks must not schedule into the past and
+        should be cheap — they run on the kernel hot path.
+        """
+        self._step_hooks.append(hook)
+
+    def remove_step_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Detach a previously added step hook."""
+        self._step_hooks.remove(hook)
+
     def step(self) -> None:
         """Process the single next event."""
         when, _seq, event = heapq.heappop(self._heap)
         self._now = when
         self._event_count += 1
         event._fire()
+        if self._step_hooks:
+            for hook in self._step_hooks:
+                hook(self)
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the calendar is empty."""

@@ -116,3 +116,17 @@ class ServiceCenter:
     def reset_stats(self) -> None:
         """Start a fresh measurement window (end of warm-up)."""
         self.utilization.reset(self.sim.now)
+
+    def metrics(self) -> dict:
+        """Current occupancy statistics for the metrics registry."""
+        return {
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "queue_length": len(self._queue),
+            "in_service": self._in_service,
+            "utilization": self.utilization.utilization(self.sim.now),
+        }
+
+    def bind_metrics(self, registry) -> None:
+        """Register this center as a collector under its own name."""
+        registry.register_collector(self.name, self.metrics)

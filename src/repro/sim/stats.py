@@ -230,6 +230,16 @@ class CounterSet:
         """Snapshot of all counters."""
         return dict(self._counts)
 
+    def bind(self, registry, prefix: str) -> None:
+        """Expose this bundle through a shared
+        :class:`~repro.obs.metrics.MetricsRegistry` under ``prefix``.
+
+        Registered as a collector, so the registry reads :meth:`as_dict`
+        only at snapshot time — ``incr`` stays a plain dict update on the
+        simulation hot path.
+        """
+        registry.register_collector(prefix, self.as_dict)
+
     def ratio(self, numerator: str, *denominator_parts: str) -> float:
         """``numerator / sum(denominator_parts)`` with a 0-safe denominator.
 

@@ -79,6 +79,7 @@ class ClosedLoopDriver:
         trace: Trace,
         num_clients: int = 64,
         warmup_frac: float = 0.25,
+        obs=None,
     ):
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -98,6 +99,12 @@ class ClosedLoopDriver:
         self.quantiles = ReservoirQuantiles()
         self.response_by_class: Dict[str, RunningStats] = {}
         self._warm_time: float = sim.now
+        # Whole-run (warm-up included) response-time histogram in the
+        # shared registry; never reset, so trace-derived totals match.
+        self._response_hist = (
+            obs.registry.histogram("client.response_ms")
+            if obs is not None else None
+        )
 
     # -- the client loop -----------------------------------------------------
     def _next_request(self) -> Optional[int]:
@@ -140,6 +147,8 @@ class ClosedLoopDriver:
             )
             # Reply wire latency back to the client.
             yield self.sim.timeout(params.network.latency_ms)
+            if self._response_hist is not None:
+                self._response_hist.observe(self.sim.now - start)
             if measured:
                 elapsed = self.sim.now - start
                 self.throughput.record()

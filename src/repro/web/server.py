@@ -12,6 +12,11 @@ request for file *f* at node *n* costs:
 Any object with this module's ``handle(node, file_id)`` / ``reset_stats``
 shape plugs into the closed-loop client harness — the PRESS baseline
 implements the same interface.
+
+When built with an :class:`~repro.obs.Observability` bundle, every GET
+becomes one trace (a root ``request`` span whose children are the
+middleware's protocol hops) and per-class request counters accumulate in
+the shared registry.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from typing import Generator
 from ..cache.block import FileLayout
 from ..cluster.node import Node
 from ..core.middleware import CoopCacheLayer
+from ..obs.tracing import NULL_TRACER
 from ..sim.engine import Event
 
 __all__ = ["CoopCacheWebServer"]
@@ -29,10 +35,12 @@ __all__ = ["CoopCacheWebServer"]
 class CoopCacheWebServer:
     """HTTP GET service over :class:`~repro.core.CoopCacheLayer`."""
 
-    def __init__(self, layer: CoopCacheLayer):
+    def __init__(self, layer: CoopCacheLayer, obs=None):
         self.layer = layer
         self.params = layer.params
         self.layout: FileLayout = layer.layout
+        self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        self._registry = obs.registry if obs is not None else None
 
     def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
         """Coroutine: fully process one GET for ``file_id`` at ``node``.
@@ -41,12 +49,16 @@ class CoopCacheWebServer:
         "disk") for per-class response-time accounting.
         """
         cpu = self.params.cpu
+        span = self.tracer.start("request", node=node.node_id, file=file_id)
         yield node.cpu.submit(cpu.parse_ms)
-        service_class = yield from self.layer.read(node, file_id)
+        service_class = yield from self.layer.read(node, file_id, span=span)
         size_kb = self.layout.size_kb(file_id)
         yield node.cpu.submit(cpu.serve_ms(size_kb))
         # Reply to the client over the shared LAN.
         yield node.nic.submit(self.params.network.transfer_ms(size_kb))
+        span.finish(cls=service_class)
+        if self._registry is not None:
+            self._registry.counter(f"requests_{service_class}").incr()
         return service_class
 
     def reset_stats(self) -> None:

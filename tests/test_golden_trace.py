@@ -1,0 +1,111 @@
+"""Golden-trace regression tests.
+
+A small fixed-seed Figure-2-style experiment is run for each of the four
+server variants with tracing on; the trace digest, span count and full
+metrics snapshot are compared byte-for-byte against fingerprints stored
+under ``tests/golden/``.  Any unintended behavioral drift in the cache
+algorithms — a changed eviction choice, an extra peer hop, a perturbed
+event ordering — changes the trace and fails the comparison.
+
+To refresh after an *intended* behavior change::
+
+    REPRO_REFRESH_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+
+then review and commit the diff under ``tests/golden/``.
+
+The workload is built directly from a scaled trace spec (not via
+``repro.experiments.defaults``), so the fingerprints are independent of
+the ``REPRO_*`` environment knobs.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs import Observability
+from repro.traces import datasets
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: The four Figure-2 curves.
+SYSTEMS = ["cc-basic", "cc-sched", "cc-kmc", "press"]
+
+
+def _workload():
+    # ~380 files / 400 requests of rutgers-shaped traffic: big enough to
+    # exercise peer fetches, disk runs, evictions and writebacks, small
+    # enough to run all four systems in a few seconds.
+    return datasets.scaled("rutgers", 0.01, num_requests=400)
+
+
+def _run(system, workload=None):
+    cfg = ExperimentConfig(
+        system=system,
+        trace=workload if workload is not None else _workload(),
+        num_nodes=4,
+        # 64 blocks per node versus an ~8 MB file set: eviction-heavy.
+        mem_mb_per_node=0.5,
+        num_clients=8,
+        seed=0,
+    )
+    obs = Observability(trace=True)
+    run_experiment(cfg, obs=obs)
+    return obs
+
+
+def _fingerprint(obs):
+    return {
+        "trace_digest": obs.tracer.digest(),
+        "trace_spans": len(obs.tracer.records),
+        "metrics": obs.registry.snapshot(),
+    }
+
+
+def _serialize(fingerprint):
+    return json.dumps(fingerprint, indent=2, sort_keys=True, default=float) + "\n"
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_golden(system):
+    path = GOLDEN_DIR / f"{system}.json"
+    current = _serialize(_fingerprint(_run(system)))
+    if os.environ.get("REPRO_REFRESH_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(current)
+    assert path.exists(), (
+        f"golden file {path} missing; generate it with "
+        "REPRO_REFRESH_GOLDEN=1 and commit the result"
+    )
+    golden = path.read_text()
+    assert current == golden, (
+        f"{system} drifted from its golden fingerprint; if the change is "
+        "intended, refresh with REPRO_REFRESH_GOLDEN=1 and review the diff"
+    )
+
+
+def test_run_twice_byte_identical():
+    """The determinism contract behind the golden files: same seed, same
+    bytes — for both the trace JSONL and the metrics JSON."""
+    workload = _workload()
+    first = _run("cc-kmc", workload)
+    second = _run("cc-kmc", workload)
+    assert first.tracer.to_jsonl() == second.tracer.to_jsonl()
+    assert first.registry.to_json() == second.registry.to_json()
+
+
+def test_trace_disabled_run_matches_traced_run():
+    """Tracing is pure observation: the metrics a run produces are the
+    same whether or not the tracer is recording."""
+    workload = _workload()
+    traced = _run("cc-basic", workload)
+
+    cfg = ExperimentConfig(
+        system="cc-basic", trace=workload, num_nodes=4,
+        mem_mb_per_node=0.5, num_clients=8, seed=0,
+    )
+    silent = Observability(trace=False)
+    run_experiment(cfg, obs=silent)
+    assert silent.registry.to_json() == traced.registry.to_json()

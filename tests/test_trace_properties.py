@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for trace well-formedness.
+
+Across randomized experiment configurations, every trace the cluster
+emits must satisfy the structural contract that makes traces usable for
+debugging classification decisions:
+
+* spans nest — a parented span lies within its parent's interval, in the
+  same trace, and the parent exists;
+* timestamps are monotone — ``start <= end`` for every span;
+* every ``remote``/``disk``-classified request has a matching fetch span
+  (or a ``coalesce``/``wait_master`` point naming the fetch it joined);
+* metrics totals equal trace-derived totals — the per-class request
+  counters and the response histogram agree with the root-span counts.
+"""
+
+from collections import Counter as TallyCounter
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs import Observability
+from repro.traces import datasets
+
+#: One small workload shared by every example (generation is seeded by
+#: the spec, so this is deterministic and cheap to reuse).
+WORKLOAD = datasets.scaled("rutgers", 0.005, num_requests=120)
+
+configs = st.fixed_dictionaries(
+    {
+        "system": st.sampled_from(["cc-basic", "cc-sched", "cc-kmc", "press"]),
+        "num_nodes": st.integers(min_value=2, max_value=5),
+        "num_clients": st.integers(min_value=1, max_value=12),
+        "mem_mb_per_node": st.sampled_from([0.25, 0.5, 1.0]),
+        "seed": st.integers(min_value=0, max_value=10_000),
+    }
+)
+
+
+def run_traced(kwargs):
+    obs = Observability(trace=True)
+    run_experiment(
+        ExperimentConfig(trace=WORKLOAD, warmup_frac=0.25, **kwargs), obs=obs
+    )
+    return obs
+
+
+def by_trace(records):
+    traces = defaultdict(list)
+    for rec in records:
+        traces[rec["trace"]].append(rec)
+    return traces
+
+
+#: Child span names that explain a non-local service class.
+REMOTE_EVIDENCE = {"peer_fetch", "coalesce", "wait_master", "forward"}
+
+
+@settings(max_examples=8, deadline=None)
+@given(configs)
+def test_traces_well_formed(kwargs):
+    obs = run_traced(kwargs)
+    records = obs.tracer.records
+    assert records, "a traced run must emit spans"
+
+    spans = {rec["span"]: rec for rec in records}
+    assert len(spans) == len(records), "span ids must be unique"
+
+    for rec in records:
+        # Timestamps are monotone within every span.
+        assert 0.0 <= rec["start"] <= rec["end"]
+        if rec["parent"] is None:
+            assert rec["trace"] == rec["span"], "a root starts its trace"
+        else:
+            parent = spans.get(rec["parent"])
+            assert parent is not None, "parent span must be emitted too"
+            assert parent["trace"] == rec["trace"], "children share the trace"
+            # Spans nest: the child lies within the parent's interval.
+            assert parent["start"] <= rec["start"]
+            assert rec["end"] <= parent["end"]
+
+    for trace_id, trace in by_trace(records).items():
+        roots = [rec for rec in trace if rec["parent"] is None]
+        assert len(roots) == 1, f"trace {trace_id} must have exactly one root"
+
+
+@settings(max_examples=8, deadline=None)
+@given(configs)
+def test_service_class_has_matching_fetch_span(kwargs):
+    obs = run_traced(kwargs)
+    traces = by_trace(obs.tracer.records)
+    for trace in traces.values():
+        root = next(rec for rec in trace if rec["parent"] is None)
+        if root["name"] != "request":
+            continue  # background activity: forward / writeback / replicate
+        cls = root["attrs"]["cls"]
+        names = {rec["name"] for rec in trace if rec is not root}
+        if cls == "disk":
+            assert "disk_read" in names
+        elif cls == "remote":
+            assert names & REMOTE_EVIDENCE
+        elif cls == "coalesced":  # PRESS only
+            assert "coalesce" in names
+        else:
+            assert cls == "local"
+            # A local hit needed no fetch: nothing but the cache probe.
+            assert names <= {"probe"}
+
+
+@settings(max_examples=6, deadline=None)
+@given(configs.filter(lambda kw: kw["system"] != "press"))
+def test_probe_agrees_with_classification(kwargs):
+    """The middleware's probe point records exactly the split that
+    determines the service class."""
+    obs = run_traced(kwargs)
+    for trace in by_trace(obs.tracer.records).values():
+        root = next(rec for rec in trace if rec["parent"] is None)
+        if root["name"] != "request":
+            continue
+        probes = [
+            rec for rec in trace
+            if rec["name"] == "probe" and rec["parent"] == root["span"]
+        ]
+        assert len(probes) == 1, "one cache probe per read"
+        a = probes[0]["attrs"]
+        cls = root["attrs"]["cls"]
+        if cls == "disk":
+            assert a["homes"] > 0
+        elif cls == "remote":
+            assert a["homes"] == 0 and (a["peers"] + a["joined"]) > 0
+        else:
+            assert a["homes"] == a["peers"] == a["joined"] == 0
+            assert a["local"] == a["n"]
+
+
+@settings(max_examples=8, deadline=None)
+@given(configs)
+def test_metrics_totals_equal_trace_totals(kwargs):
+    obs = run_traced(kwargs)
+    roots = [
+        rec for rec in obs.tracer.records
+        if rec["parent"] is None and rec["name"] == "request"
+    ]
+    trace_classes = TallyCounter(rec["attrs"]["cls"] for rec in roots)
+
+    snap = obs.registry.snapshot()
+    metric_classes = {
+        name[len("requests_"):]: count
+        for name, count in snap["counters"].items()
+        if name.startswith("requests_")
+    }
+    assert metric_classes == dict(trace_classes)
+
+    # The driver's whole-run response histogram counts one observation
+    # per served request — the same population as the request roots.
+    hist = snap["histograms"]["client.response_ms"]
+    assert hist["count"] == len(roots) == WORKLOAD.num_requests
