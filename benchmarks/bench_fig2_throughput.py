@@ -27,7 +27,9 @@ def test_bench_fig2(benchmark, artifact):
         for i in range(n):
             assert thr["cc-basic"][i] < 0.75 * thr["press"][i], name
         # Paper shape 2: the KMC replacement fix dominates CC-Basic.
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
+
         assert mean(thr["cc-kmc"]) > 1.3 * mean(thr["cc-basic"]), name
         # Paper shape 3: CC-Sched sits between Basic and KMC on average.
         assert (

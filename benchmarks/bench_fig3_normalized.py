@@ -22,7 +22,9 @@ def test_bench_fig3(benchmark, artifact):
     for panel_name, panel in data.items():
         kmc = panel["normalized"]["cc-kmc"]
         basic = panel["normalized"]["cc-basic"]
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
+
         assert mean(kmc) >= 0.65, panel_name
         assert sum(1 for x in kmc if x >= 0.7) >= len(kmc) / 2, panel_name
         # KMC dominates Basic at every point.

@@ -19,7 +19,9 @@ def test_bench_fig5(benchmark, artifact):
     data = benchmark.pedantic(run_fig5, rounds=1, iterations=1)
     for panel_name, panel in data.items():
         kmc = panel["normalized"]["cc-kmc"]
-        mean = lambda xs: sum(xs) / len(xs)
+        def mean(xs):
+            return sum(xs) / len(xs)
+
         # CC pays a response-time premium on average...
         assert mean(kmc) >= 0.95, panel_name
         # ...but not a collapse (CC-KMC stays within ~4x everywhere,

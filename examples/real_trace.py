@@ -11,10 +11,16 @@ Run:  python examples/real_trace.py [path/to/access_log]
 """
 
 import io
+import logging
 import sys
 
 from repro.experiments import ExperimentConfig, format_table, run_experiment
 from repro.traces import parse_clf_lines, table2_row
+
+logging.basicConfig(
+    level=logging.INFO, format="%(message)s", stream=sys.stdout
+)
+log = logging.getLogger("examples.real_trace")
 
 # A miniature access log in NCSA Common Log Format (the embedded
 # fallback when no log path is given on the command line).
@@ -40,10 +46,11 @@ host4 - - [01/Jul/2001:00:00:15 -0400] "GET /index.html HTTP/1.0" 200 10240
 def load_trace():
     if len(sys.argv) > 1:
         path = sys.argv[1]
-        print(f"parsing {path} ...")
+        log.info("parsing %s ...", path)
         with open(path, "r", errors="replace") as fh:
             return parse_clf_lines(fh, name=path)
-    print("no log given; using the embedded sample (pass a path to use yours)")
+    log.info("no log given; using the embedded sample "
+             "(pass a path to use yours)")
     return parse_clf_lines(io.StringIO(SAMPLE_LOG), name="sample")
 
 

@@ -19,7 +19,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for
 paper-vs-measured results.
 """
 
+import logging
+
 from .params import DEFAULT_PARAMS, HARDWARE_CONFIGS, SimParams
+
+# Library convention: emit through the package logger, let the
+# application decide handlers (CLI installs one via -v/--verbose).
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -19,7 +19,7 @@ This is the component the paper's Section 5 turns on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..params import SimParams
@@ -200,6 +200,14 @@ class Disk:
         self.utilization.on_start(self.sim.now)
         self._head = (request.file_id, request.extent, request.end_block)
         self.service_stats.record(service_ms)
+        # Stamp service entry + seek/transfer split on the completion
+        # event; the profiler reads these to decompose disk waits.
+        done.svc_start = self.sim.now
+        done.svc_ms = service_ms
+        done.svc_seek_ms = (
+            0.0 if contiguous
+            else self.params.disk.seek_ms + self.params.disk.metadata_seek_ms
+        )
         self.sim.call_after(service_ms, self._finish, request, done)
 
     def _finish(self, request: DiskRequest, done: Event) -> None:

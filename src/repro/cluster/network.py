@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..obs.profile import NULL_PROFILER
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
 from .node import Node
@@ -34,14 +35,16 @@ class Network:
         self.messages = 0
 
     def transfer(
-        self, src: Optional[Node], dst: Optional[Node], size_kb: float
+        self, src: Optional[Node], dst: Optional[Node], size_kb: float,
+        prof=NULL_PROFILER, parent=None,
     ) -> Generator[Event, None, None]:
         """Coroutine: move ``size_kb`` from ``src`` to ``dst``.
 
         ``src is None`` models a message arriving from outside the cluster
         (a client or the router) — only wire latency applies.  ``dst`` is
         accepted for symmetry/readability; receive-side work is the
-        caller's to charge.
+        caller's to charge.  ``prof``/``parent`` attribute the NIC and
+        wire-latency waits to phase spans when profiling is on.
         """
         if size_kb < 0:
             raise ValueError("size_kb must be >= 0")
@@ -51,8 +54,13 @@ class Network:
             # Local loopback costs nothing but a bus hop, modeled by caller.
             if dst is not None and src.node_id == dst.node_id:
                 return
-            yield src.nic.submit(self.params.network.transfer_ms(size_kb))
-        yield self.sim.timeout(self.params.network.latency_ms)
+            yield from prof.wait(
+                parent, src.node_id, "nic",
+                src.nic.submit(self.params.network.transfer_ms(size_kb)),
+            )
+        yield from prof.wait(
+            parent, None, "wire", self.sim.timeout(self.params.network.latency_ms)
+        )
 
     def reset_stats(self) -> None:
         """Zero the traffic accounting counters."""

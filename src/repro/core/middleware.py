@@ -39,6 +39,7 @@ from ..cache.directory import GlobalDirectory, HomeMap
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
 from ..cluster.node import Node
+from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..sim.engine import Event
 from ..sim.stats import CounterSet
@@ -86,6 +87,8 @@ class CoopCacheLayer:
         self.counters = CounterSet()
         #: Request tracer (no-op unless an Observability bundle is given).
         self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        #: Critical-path profiler (no-op unless profiling was requested).
+        self.prof = getattr(obs, "profiler", NULL_PROFILER) or NULL_PROFILER
         if obs is not None:
             self.counters.bind(obs.registry, "coopcache")
             obs.registry.gauge("coopcache.resident_blocks",
@@ -145,7 +148,10 @@ class CoopCacheLayer:
         latency premium to exactly these classes).
         """
         # "Process a file request": per-block bookkeeping on the CPU.
-        yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
+        yield from self.prof.wait(
+            span, node.node_id, "cpu",
+            node.cpu.submit(self.params.cpu.file_request_ms(len(blocks))),
+        )
 
         local, joined, by_peer, by_home = self._classify(node, blocks, span)
 
@@ -188,7 +194,12 @@ class CoopCacheLayer:
                 )
             fetches.append(proc)
         if fetches:
-            yield self.sim.all_of(fetches)
+            # Parallel fan-out: the analyzer refines this wait by walking
+            # the child fetch spans backward along the critical path.
+            yield from self.prof.wait(
+                span, node.node_id, "fetch", self.sim.all_of(fetches),
+                d=len(by_home), pe=len(by_peer), j=len(joined),
+            )
         if by_home:
             return "disk"
         if by_peer or joined:
@@ -460,7 +471,9 @@ class CoopCacheLayer:
         fetch in the in-flight table and wait on itself).
         """
         if not pending.processed:
-            yield pending
+            yield from self.prof.wait(
+                parent, node.node_id, "master_wait", pending
+            )
         cache = self.caches[node.node_id]
         if blk in cache:
             self.counters.incr("local_hit")
@@ -500,7 +513,8 @@ class CoopCacheLayer:
         )
 
         # Request message: n -> m.
-        yield from net.transfer(node, peer, self._msg_kb)
+        yield from net.transfer(node, peer, self._msg_kb,
+                                prof=self.prof, parent=span)
 
         present = [blk for blk in blocks if blk in peer_cache]
         missing = [blk for blk in blocks if blk not in peer_cache]
@@ -513,14 +527,18 @@ class CoopCacheLayer:
                 for blk in present:
                     peer_cache.touch(blk, self.sim.now)
             # Peer CPU: "serve peer block request" per block.
-            yield peer.cpu.submit(
-                self.params.cpu.serve_peer_block_ms * len(present)
+            yield from self.prof.wait(
+                span, peer_id, "cpu",
+                peer.cpu.submit(
+                    self.params.cpu.serve_peer_block_ms * len(present)
+                ),
             )
             reply_kb = sum(self.layout.block_size_kb(blk) for blk in present)
-            yield from net.transfer(peer, node, reply_kb)
+            yield from net.transfer(peer, node, reply_kb,
+                                    prof=self.prof, parent=span)
             for blk in present:
                 self.counters.incr("remote_hit")
-            yield from self._install(node, present, master=False)
+            yield from self._install(node, present, master=False, parent=span)
 
         if missing:
             self.counters.incr("peer_miss", len(missing))
@@ -550,7 +568,10 @@ class CoopCacheLayer:
                 )
                 for h, blks in by_home.items()
             ]
-            yield self.sim.all_of(fallback)
+            yield from self.prof.wait(
+                span, node.node_id, "fetch", self.sim.all_of(fallback),
+                d=len(by_home), pe=len(chase), j=0,
+            )
         span.finish(hits=len(present), misses=len(missing))
 
     # ------------------------------------------------------------------
@@ -578,7 +599,8 @@ class CoopCacheLayer:
             self._pending_master[blk] = done
         try:
             if remote_home:
-                yield from net.transfer(node, home, self._msg_kb)
+                yield from net.transfer(node, home, self._msg_kb,
+                                        prof=self.prof, parent=span)
 
             # Block-granular interface: the stream reads its blocks one
             # at a time, so blocks from concurrent streams interleave in
@@ -587,22 +609,30 @@ class CoopCacheLayer:
             # queued blocks by (file, extent, block) and undoes it.
             runs = self._runs(blocks)
             for run in runs:
-                yield home.disk.submit(run)
+                ev = home.disk.submit(run)
+                yield from self.prof.disk_wait(span, home_id, ev, (ev,))
             self.counters.incr("disk_read", len(blocks))
             self.counters.incr("disk_runs", len(runs))
 
             total_kb = sum(self.layout.block_size_kb(blk) for blk in blocks)
             # Move the data across the home's bus (disk -> memory/NIC).
-            yield home.bus.submit(self.params.bus.transfer_ms(total_kb))
+            yield from self.prof.wait(
+                span, home_id, "bus",
+                home.bus.submit(self.params.bus.transfer_ms(total_kb)),
+            )
 
             if remote_home:
                 # Home CPU forwards the freshly read master copies.
-                yield home.cpu.submit(
-                    self.params.cpu.serve_peer_block_ms * len(blocks)
+                yield from self.prof.wait(
+                    span, home_id, "cpu",
+                    home.cpu.submit(
+                        self.params.cpu.serve_peer_block_ms * len(blocks)
+                    ),
                 )
-                yield from net.transfer(home, node, total_kb)
+                yield from net.transfer(home, node, total_kb,
+                                        prof=self.prof, parent=span)
 
-            yield from self._install(node, blocks, master=True)
+            yield from self._install(node, blocks, master=True, parent=span)
             span.finish(runs=len(runs))
         finally:
             for blk in registered:
@@ -637,7 +667,8 @@ class CoopCacheLayer:
     # installation & eviction
     # ------------------------------------------------------------------
     def _install(
-        self, node: Node, blocks: List[BlockId], *, master: bool
+        self, node: Node, blocks: List[BlockId], *, master: bool,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Insert arrived blocks at ``node``, evicting as needed.
 
@@ -646,7 +677,10 @@ class CoopCacheLayer:
         the forwarded block's transfer, spawned asynchronously).
         """
         cache = self.caches[node.node_id]
-        yield node.cpu.submit(self.params.cpu.cache_block_ms * len(blocks))
+        yield from self.prof.wait(
+            parent, node.node_id, "cpu",
+            node.cpu.submit(self.params.cpu.cache_block_ms * len(blocks)),
+        )
         for blk in blocks:
             # If some other node (re-)mastered the block while our fetch
             # was in flight, install ours as a plain replica: the cluster

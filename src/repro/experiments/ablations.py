@@ -6,7 +6,7 @@ Each function mirrors the figure API: run → structured data, plus a
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

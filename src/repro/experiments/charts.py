@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-__all__ = ["line_chart", "bar_chart"]
+__all__ = ["line_chart", "bar_chart", "sparkline"]
 
 #: Plot glyph per series, cycled.
 _GLYPHS = "*o+x#@%&"
@@ -95,6 +95,30 @@ def line_chart(
     )
     lines.append(" " * (margin + 2) + legend)
     return "\n".join(lines)
+
+
+#: Block glyphs for sparklines, lowest to highest.
+_SPARKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], hi: Optional[float] = None) -> str:
+    """One-line block-glyph series (for per-window time-series tables).
+
+    ``hi`` fixes the scale top (so multiple sparklines compare); default
+    is the series maximum.
+    """
+    if not values:
+        return ""
+    top = hi if hi is not None else max(values)
+    if top <= 0:
+        return _SPARKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = _scale(v, 0.0, top, len(_SPARKS))
+        if v > 0 and idx == 0:
+            idx = 1
+        out.append(_SPARKS[idx])
+    return "".join(out)
 
 
 def bar_chart(

@@ -12,7 +12,16 @@ Usage::
     python -m repro.experiments.cli run --system cc-kmc --workload rutgers \\
         --trace trace.jsonl --metrics-out metrics.json --invariant-every 1000
 
-Workload scale is controlled by the usual environment knobs
+    # Same, with critical-path profiling and an inline bottleneck report.
+    python -m repro.experiments.cli run --profile --trace trace.jsonl
+
+    # Offline analysis of a dumped run: attribution report, Perfetto
+    # export, windowed time series, slowest requests.
+    python -m repro.experiments.cli analyze trace.jsonl metrics.json \\
+        --report --perfetto perfetto.json --timeseries --top 10
+
+Pass ``-v`` / ``--verbose`` (repeatable) anywhere for INFO/DEBUG
+logging.  Workload scale is controlled by the usual environment knobs
 (``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
 ``REPRO_FULL``).
 """
@@ -20,13 +29,15 @@ Workload scale is controlled by the usual environment knobs
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import Callable, Dict
 
 from . import ablations, defaults, figures, tables
 from .report import banner
 
-__all__ = ["ARTIFACTS", "main", "run_command"]
+__all__ = ["ARTIFACTS", "main", "run_command", "analyze_command"]
 
 #: artifact name -> zero-argument renderer.
 ARTIFACTS: Dict[str, Callable[[], str]] = {
@@ -95,6 +106,9 @@ def _run_parser() -> argparse.ArgumentParser:
                    metavar="N",
                    help="sample check_invariants every N kernel events "
                         "(middleware systems; 0 = off)")
+    p.add_argument("--profile", action="store_true",
+                   help="wrap every blocking wait in a phase span and "
+                        "print the critical-path bottleneck report")
     return p
 
 
@@ -118,6 +132,7 @@ def run_command(argv) -> int:
     obs = Observability(
         trace=opts.trace is not None,
         invariant_every=opts.invariant_every,
+        profile=opts.profile,
     )
     result = run_experiment(cfg, obs=obs)
 
@@ -142,14 +157,129 @@ def run_command(argv) -> int:
     if opts.metrics_out:
         obs.registry.dump(opts.metrics_out)
         print(f"metrics           -> {opts.metrics_out}")
+    if opts.profile:
+        from ..obs.analyze import attribute
+        from ..obs.reports import render_profile_report
+
+        print()
+        print(banner("critical-path profile"))
+        print(render_profile_report(
+            attribute(obs.tracer.records),
+            metrics=obs.registry.snapshot(),
+        ))
     return 0
+
+
+def _analyze_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments analyze",
+        description="Offline analysis of a dumped run "
+                    "(trace JSONL from `run --profile --trace`).",
+    )
+    p.add_argument("trace", metavar="TRACE",
+                   help="span trace JSONL (from run --trace)")
+    p.add_argument("metrics", metavar="METRICS", nargs="?", default=None,
+                   help="metrics snapshot JSON (from run --metrics-out); "
+                        "enables utilization-based bottleneck analysis")
+    p.add_argument("--report", action="store_true",
+                   help="print the critical-path attribution / bottleneck "
+                        "report (default when no other output is requested)")
+    p.add_argument("--perfetto", metavar="FILE", default=None,
+                   help="write a Chrome trace-event JSON (Perfetto / "
+                        "chrome://tracing) to FILE")
+    p.add_argument("--timeseries", action="store_true",
+                   help="print windowed throughput / utilization charts")
+    p.add_argument("--timeseries-out", metavar="FILE", default=None,
+                   help="write the windowed time series as JSON to FILE")
+    p.add_argument("--window-ms", type=_positive(float), default=None,
+                   help="time-series window width (default: run length / 60)")
+    p.add_argument("--top", type=_non_negative_int, default=0, metavar="K",
+                   help="print the K slowest requests with span trees")
+    p.add_argument("--all-requests", action="store_true",
+                   help="include warm-up requests, not just measured ones")
+    return p
+
+
+def analyze_command(argv) -> int:
+    """``analyze`` subcommand: reports over dumped trace/metrics files."""
+    from ..obs.analyze import attribute, load_jsonl
+
+    opts = _analyze_parser().parse_args(argv)
+    try:
+        records = load_jsonl(opts.trace)
+        metrics = None
+        if opts.metrics:
+            with open(opts.metrics, "r", encoding="utf-8") as fp:
+                metrics = json.load(fp)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"analyze: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    measured_only = not opts.all_requests
+    want_report = opts.report or not (
+        opts.perfetto or opts.timeseries or opts.timeseries_out or opts.top
+    )
+
+    if want_report:
+        from ..obs.reports import render_profile_report
+
+        print(banner(f"profile: {opts.trace}"))
+        print(render_profile_report(
+            attribute(records, measured_only=measured_only), metrics=metrics
+        ))
+    if opts.top:
+        from ..obs.reports import render_top_requests
+
+        print(banner(f"top {opts.top} slowest"))
+        print(render_top_requests(
+            records, k=opts.top, measured_only=measured_only
+        ))
+    if opts.timeseries or opts.timeseries_out:
+        from ..obs.timeseries import build_timeseries, dump_timeseries
+
+        ts = build_timeseries(records, window_ms=opts.window_ms)
+        if opts.timeseries_out:
+            dump_timeseries(ts, opts.timeseries_out)
+            print(f"time series       -> {opts.timeseries_out}")
+        if opts.timeseries:
+            from ..obs.reports import render_timeseries
+
+            print(banner("time series"))
+            print(render_timeseries(ts))
+    if opts.perfetto:
+        from ..obs.export import dump_chrome_trace
+
+        dump_chrome_trace(records, opts.perfetto)
+        print(f"chrome trace      -> {opts.perfetto} "
+              f"(open in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _configure_logging(args) -> list:
+    """Strip ``-v``/``--verbose`` flags and configure the root logger."""
+    level = 0
+    kept = []
+    for arg in args:
+        if arg == "--verbose":
+            level += 1
+        elif arg.startswith("-") and len(arg) > 1 and set(arg[1:]) == {"v"}:
+            level += len(arg) - 1
+        else:
+            kept.append(arg)
+    logging.basicConfig(
+        level=(logging.WARNING, logging.INFO)[min(level, 1)]
+        if level < 2 else logging.DEBUG,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    return kept
 
 
 def main(argv=None) -> int:
     """Render the requested artifacts to stdout; returns an exit code."""
-    args = list(sys.argv[1:] if argv is None else argv)
+    args = _configure_logging(list(sys.argv[1:] if argv is None else argv))
     if args and args[0] == "run":
         return run_command(args[1:])
+    if args and args[0] == "analyze":
+        return analyze_command(args[1:])
     if not args or args == ["list"]:
         print(__doc__)
         print("artifacts:", " ".join(ARTIFACTS))

@@ -11,7 +11,7 @@ All experiments honour the scale-down machinery in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -397,7 +397,34 @@ def render_fig6a(data: Optional[dict] = None) -> str:
         y_label="utilization",
         x_label="MB/node",
     )
-    return table + "\n\n" + chart
+    # Binding-resource narrative: which resource saturates first at each
+    # memory point (the paper's argument for why more memory helps —
+    # the disk binds at small memory, then the bottleneck migrates).
+    util = data["utilization"]
+    binding = [
+        max(util, key=lambda res: util[res][i])
+        for i in range(len(data["memories_mb"]))
+    ]
+    narrative = [
+        "binding resource by memory point: "
+        + ", ".join(
+            f"{mem:g}MB={res}"
+            for mem, res in zip(data["memories_mb"], binding)
+        )
+    ]
+    small_mem = binding[0]
+    narrative.append(
+        f"at {data['memories_mb'][0]:g} MB/node the {small_mem} is the "
+        f"binding resource ({util[small_mem][0]:.0%} utilized, "
+        f"{data['max_disk'][0]:.0%} on the hottest node's disk)"
+        + (
+            f"; by {data['memories_mb'][-1]:g} MB/node the bottleneck "
+            f"shifts to the {binding[-1]}"
+            if binding[-1] != small_mem
+            else ""
+        )
+    )
+    return table + "\n\n" + chart + "\n\n" + "\n".join(narrative)
 
 
 # ---------------------------------------------------------------------------

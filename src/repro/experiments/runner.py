@@ -12,8 +12,9 @@ Everything in :mod:`repro.experiments` boils down to calling
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 from ..cache.block import FileLayout
 from ..cache.directory import HomeMap
@@ -32,6 +33,8 @@ from ..web.client import ClosedLoopDriver, WorkloadResult
 from ..web.server import CoopCacheWebServer
 
 __all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "SYSTEMS"]
+
+logger = logging.getLogger(__name__)
 
 #: Named systems accepted by :class:`ExperimentConfig`.
 SYSTEMS = ("press", "cc-basic", "cc-sched", "cc-kmc")
@@ -150,6 +153,11 @@ def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
             )
             obs.sampler.attach(sim)
 
+    logger.info(
+        "running %s / %s: %d nodes, %g MB/node, %d clients, seed %d",
+        cfg.system_name(), cfg.trace.spec.name, cfg.num_nodes,
+        cfg.mem_mb_per_node, cfg.num_clients or 0, cfg.seed,
+    )
     driver = ClosedLoopDriver(
         sim,
         cluster,
@@ -160,6 +168,10 @@ def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
         obs=obs,
     )
     workload = driver.run()
+    logger.info(
+        "done in %.1f ms simulated: %.1f req/s, %.2f ms mean response",
+        sim.now, workload.throughput_rps, workload.mean_response_ms,
+    )
     return ExperimentResult(
         config=cfg,
         workload=workload,

@@ -28,6 +28,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profile import NULL_PROFILER, NullProfiler, Profiler
 from .tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -41,6 +42,9 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "NULL_SPAN",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
     "InvariantSampler",
     "Observability",
 ]
@@ -54,6 +58,9 @@ class Observability:
     snapshot time).  ``invariant_every=0`` disables sampling entirely;
     any N >= 1 makes the experiment runner attach an
     :class:`InvariantSampler` over the middleware's ``check_invariants``.
+    ``profile=True`` additionally records critical-path phase spans on
+    every blocking wait (implies tracing); feed the resulting trace to
+    :mod:`repro.obs.analyze`.
     """
 
     def __init__(
@@ -61,11 +68,13 @@ class Observability:
         trace: bool = True,
         invariant_every: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        profile: bool = False,
     ):
         if invariant_every < 0:
             raise ValueError("invariant_every must be >= 0")
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.tracer = Tracer() if trace else NULL_TRACER
+        self.tracer = Tracer() if (trace or profile) else NULL_TRACER
+        self.profiler = Profiler(self.tracer) if profile else NULL_PROFILER
         self.invariant_every = invariant_every
         #: Set by the runner when sampling is active (for introspection).
         self.sampler: Optional[InvariantSampler] = None

@@ -1,0 +1,443 @@
+"""Offline trace analysis: span trees and critical-path attribution.
+
+Input is the tracer's JSONL (or its in-memory record list) from a
+*profiled* run (``Observability(profile=True)``).  The decomposition
+rests on two structural facts about the simulator:
+
+* Protocol coroutines are **serial** — between two yields no simulated
+  time passes — so the profiler's phase spans (name ``"ph"``) tile each
+  span's duration exactly, telescoping with zero-duration gaps.
+* Parallel fan-out happens only behind an ``all_of`` wrapped in a
+  ``fetch`` phase; the spawned fetch spans are *siblings* of that phase
+  under the same parent.  A backward walk from the end of the fetch
+  interval — always stepping to the candidate span that ends latest but
+  no later than the current frontier — recovers the serial chain that
+  actually bounded the wait (the critical path), and any unexplained
+  remainder is genuine waiting on another request's work (coalesce /
+  peer / master wait).
+
+``attribute()`` turns a trace into per-request phase tables whose sums
+equal the span-tree root durations (and, over measured client roots,
+the run's measured mean response time) up to float tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .profile import PHASE_SPAN
+
+__all__ = [
+    "PHASE_ORDER",
+    "SpanNode",
+    "load_jsonl",
+    "build_trees",
+    "request_roots",
+    "decompose_request",
+    "RequestProfile",
+    "Attribution",
+    "attribute",
+    "binding_resource",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Canonical display order of attribution phases.
+PHASE_ORDER: Tuple[str, ...] = (
+    "router",
+    "cpu.queue", "cpu.service",
+    "nic.queue", "nic.service",
+    "bus.queue", "bus.service",
+    "wire",
+    "disk.queue", "disk.seek", "disk.transfer",
+    "peer.wait", "master.wait", "coalesce.wait",
+    "other",
+)
+
+#: Span names treated as per-request roots (profiled runs produce
+#: ``client`` roots; plain traced runs produce ``request`` roots).
+REQUEST_ROOT_NAMES = ("client", "request")
+
+#: Absolute float slack for interval containment / chain stepping (ms).
+_EPS = 1e-9
+
+
+class SpanNode:
+    """One span record wired into its trace tree."""
+
+    __slots__ = ("rec", "parent", "children")
+
+    def __init__(self, rec: Dict[str, Any]):
+        self.rec = rec
+        self.parent: Optional["SpanNode"] = None
+        self.children: List["SpanNode"] = []
+
+    @property
+    def span_id(self) -> int:
+        return self.rec["span"]
+
+    @property
+    def trace_id(self) -> int:
+        return self.rec["trace"]
+
+    @property
+    def parent_id(self) -> Optional[int]:
+        return self.rec.get("parent")
+
+    @property
+    def name(self) -> str:
+        return self.rec["name"]
+
+    @property
+    def node(self) -> Optional[int]:
+        return self.rec.get("node")
+
+    @property
+    def start(self) -> float:
+        return self.rec["start"]
+
+    @property
+    def end(self) -> Optional[float]:
+        return self.rec.get("end")
+
+    @property
+    def dur(self) -> Optional[float]:
+        """Duration in ms, or None for unfinished spans."""
+        end = self.end
+        return None if end is None else end - self.start
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return self.rec.get("attrs", {})
+
+    @property
+    def unfinished(self) -> bool:
+        return bool(self.rec.get("unfinished")) or self.end is None
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def load_jsonl(path) -> List[Dict[str, Any]]:
+    """Read a tracer JSONL file into a list of span records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def build_trees(
+    records: Iterable[Dict[str, Any]],
+) -> Tuple[List[SpanNode], Dict[int, SpanNode]]:
+    """Wire span records into trees; returns (roots, index by span id).
+
+    Children are ordered by (start, span id); records whose parent is
+    missing from the trace become roots (robust to partial dumps).
+    """
+    index: Dict[int, SpanNode] = {}
+    for rec in records:
+        node = SpanNode(rec)
+        index[node.span_id] = node
+    roots: List[SpanNode] = []
+    for node in index.values():
+        pid = node.parent_id
+        parent = index.get(pid) if pid is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            node.parent = parent
+            parent.children.append(node)
+    for node in index.values():
+        node.children.sort(key=lambda c: (c.start, c.span_id))
+    roots.sort(key=lambda c: (c.start, c.span_id))
+    return roots, index
+
+
+def request_roots(
+    roots: Iterable[SpanNode], measured_only: bool = False
+) -> List[SpanNode]:
+    """Finished per-request root spans (``client`` or ``request``).
+
+    ``measured_only`` keeps roots whose ``measured`` attr is true (or
+    absent — plain traced runs don't mark warm-up).
+    """
+    out = []
+    for root in roots:
+        if root.name not in REQUEST_ROOT_NAMES or root.dur is None:
+            continue
+        if measured_only and not root.attrs.get("measured", True):
+            continue
+        out.append(root)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# decomposition
+# ---------------------------------------------------------------------------
+def _contains(p: SpanNode, c: SpanNode) -> bool:
+    """True if finished span ``c`` lies within phase ``p``'s interval.
+
+    Span ids are monotone in creation order, so a span created during a
+    wait always has a higher id than the wait's phase span — which
+    disambiguates exact-timestamp boundaries (zero-duration gaps).
+    """
+    if c.dur is None:
+        return False
+    return (
+        p.span_id < c.span_id
+        and p.start - _EPS <= c.start
+        and c.end <= p.end + _EPS
+    )
+
+
+def _decompose_span(span: SpanNode, phases: Dict[str, float]) -> None:
+    """Attribute ``span``'s duration into ``phases`` via its children.
+
+    Serial children (phases and sub-spans not inside any phase interval)
+    tile the span; anything not covered by a child lands in ``other``.
+    """
+    children = [c for c in span.children if c.dur is not None]
+    ph_children = [c for c in children if c.name == PHASE_SPAN]
+    segments = [
+        c for c in children
+        if not any(p is not c and _contains(p, c) for p in ph_children)
+    ]
+    covered = 0.0
+    for seg in segments:
+        if seg.name == PHASE_SPAN:
+            _attribute_phase(seg, phases)
+        else:
+            _decompose_span(seg, phases)
+        covered += seg.dur
+    leftover = (span.dur or 0.0) - covered
+    if leftover:
+        phases["other"] += leftover
+
+
+def _attribute_phase(p: SpanNode, phases: Dict[str, float]) -> None:
+    """Assign one phase span's duration to named attribution buckets."""
+    attrs = p.attrs
+    name = attrs.get("p", "other")
+    dur = p.dur or 0.0
+    if name in ("cpu", "nic", "bus"):
+        q = attrs.get("q", 0.0)
+        phases[f"{name}.queue"] += q
+        phases[f"{name}.service"] += dur - q
+    elif name == "disk":
+        svc = attrs.get("svc", dur)
+        seek = attrs.get("seek", 0.0)
+        phases["disk.queue"] += dur - svc
+        phases["disk.seek"] += seek
+        phases["disk.transfer"] += svc - seek
+    elif name in ("router", "wire"):
+        phases[name] += dur
+    elif name == "master_wait":
+        phases["master.wait"] += dur
+    elif name == "coalesce_wait":
+        phases["coalesce.wait"] += dur
+    elif name == "fetch":
+        _refine_fetch(p, phases)
+    else:
+        phases["other"] += dur
+
+
+def _refine_fetch(p: SpanNode, phases: Dict[str, float]) -> None:
+    """Decompose a parallel fan-out wait along its critical path.
+
+    The fetch spans spawned during the wait are siblings of ``p`` under
+    the same parent, contained in ``p``'s interval.  Walking backward
+    from the end of the interval — always taking the span that ends
+    latest but at or before the current frontier — recovers the serial
+    chain that bounded the wait (e.g. ``master_wait`` phase followed by
+    the retried ``peer_fetch``).  Time not explained by the chain was
+    spent waiting on work owned by *other* requests; it goes to
+    ``coalesce.wait`` / ``peer.wait`` / ``disk.queue`` according to what
+    the fan-out contained.
+    """
+    parent = p.parent
+    candidates = [
+        c for c in (parent.children if parent is not None else [])
+        if c is not p and _contains(p, c) and (c.dur or 0.0) > 0.0
+    ]
+    frontier = p.end
+    attributed = 0.0
+    used: set = set()
+    while True:
+        best = None
+        for c in candidates:
+            if c.span_id in used or c.end > frontier + _EPS:
+                continue
+            if best is None or (c.end, c.dur, c.span_id) > (
+                best.end, best.dur, best.span_id
+            ):
+                best = c
+        if best is None:
+            break
+        used.add(best.span_id)
+        if best.name == PHASE_SPAN:
+            _attribute_phase(best, phases)
+        else:
+            _decompose_span(best, phases)
+        attributed += best.dur
+        frontier = best.start
+        if frontier <= p.start + _EPS:
+            break
+    leftover = (p.dur or 0.0) - attributed
+    if leftover:
+        attrs = p.attrs
+        if attrs.get("j"):
+            bucket = "coalesce.wait"
+        elif attrs.get("pe"):
+            bucket = "peer.wait"
+        else:
+            bucket = "disk.queue"
+        phases[bucket] += leftover
+
+
+@dataclass
+class RequestProfile:
+    """One request's phase decomposition."""
+
+    trace_id: int
+    root_name: str
+    node: Optional[int]
+    cls: Optional[str]
+    start: float
+    dur: float
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def residual(self) -> float:
+        """Unattributed time (should be float noise only)."""
+        return self.dur - sum(self.phases.values())
+
+
+def decompose_request(root: SpanNode) -> RequestProfile:
+    """Phase decomposition of one finished request root span."""
+    phases: Dict[str, float] = defaultdict(float)
+    _decompose_span(root, phases)
+    return RequestProfile(
+        trace_id=root.trace_id,
+        root_name=root.name,
+        node=root.node,
+        cls=root.attrs.get("cls"),
+        start=root.start,
+        dur=root.dur or 0.0,
+        phases=dict(phases),
+    )
+
+
+@dataclass
+class Attribution:
+    """Aggregate phase attribution over a set of requests."""
+
+    requests: List[RequestProfile]
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    @property
+    def mean_response_ms(self) -> float:
+        """Mean span-tree root duration = mean response time."""
+        if not self.requests:
+            return 0.0
+        return sum(r.dur for r in self.requests) / len(self.requests)
+
+    def phase_means(self) -> Dict[str, float]:
+        """Mean per-request contribution of each phase (ms)."""
+        if not self.requests:
+            return {}
+        sums: Dict[str, float] = defaultdict(float)
+        for r in self.requests:
+            for phase, ms in r.phases.items():
+                sums[phase] += ms
+        n = len(self.requests)
+        return {phase: total / n for phase, total in sums.items()}
+
+    @property
+    def mean_residual_ms(self) -> float:
+        """Mean unattributed time per request (float noise)."""
+        if not self.requests:
+            return 0.0
+        return sum(r.residual for r in self.requests) / len(self.requests)
+
+    def by_class(self) -> Dict[str, "Attribution"]:
+        """Per-service-class sub-attributions ("local"/"remote"/...)."""
+        groups: Dict[str, List[RequestProfile]] = defaultdict(list)
+        for r in self.requests:
+            groups[r.cls or "?"].append(r)
+        return {cls: Attribution(reqs) for cls, reqs in sorted(groups.items())}
+
+
+def attribute(
+    records: Iterable[Dict[str, Any]], measured_only: bool = True
+) -> Attribution:
+    """Full-trace attribution: one :class:`RequestProfile` per request.
+
+    ``measured_only`` drops warm-up requests (profiled client roots are
+    marked; plain ``request`` roots are all kept).
+    """
+    roots, _index = build_trees(records)
+    reqs = request_roots(roots, measured_only=measured_only)
+    logger.info("attributing %d request roots (%d spans total)",
+                len(reqs), len(roots))
+    return Attribution([decompose_request(root) for root in reqs])
+
+
+# ---------------------------------------------------------------------------
+# binding resource (from a metrics snapshot)
+# ---------------------------------------------------------------------------
+#: Resource classes whose per-node utilization identifies the bottleneck.
+RESOURCE_CLASSES = ("cpu", "nic", "bus", "disk")
+
+
+def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Name the binding resource from a metrics snapshot.
+
+    Scans ``collected`` entries shaped ``node<N>.<resource>`` for their
+    ``utilization`` and returns the resource class with the highest
+    cluster-mean utilization::
+
+        {"resource": "disk", "mean": 0.74, "max": 0.83,
+         "max_node": "node3",
+         "per_resource": {"cpu": {"mean": ..., "max": ..., ...}, ...}}
+
+    Returns None when the snapshot has no per-node utilizations.
+    """
+    per: Dict[str, List[Tuple[str, float]]] = defaultdict(list)
+    for key, vals in metrics.get("collected", {}).items():
+        if "." not in key or not isinstance(vals, dict):
+            continue
+        node_part, resource = key.split(".", 1)
+        if resource in RESOURCE_CLASSES and "utilization" in vals:
+            per[resource].append((node_part, float(vals["utilization"])))
+    if not per:
+        return None
+    per_resource: Dict[str, Dict[str, Any]] = {}
+    for resource, samples in per.items():
+        max_node, max_util = max(samples, key=lambda s: (s[1], s[0]))
+        per_resource[resource] = {
+            "mean": sum(u for _n, u in samples) / len(samples),
+            "max": max_util,
+            "max_node": max_node,
+        }
+    winner = max(per_resource, key=lambda r: per_resource[r]["mean"])
+    info = per_resource[winner]
+    return {
+        "resource": winner,
+        "mean": info["mean"],
+        "max": info["max"],
+        "max_node": info["max_node"],
+        "per_resource": per_resource,
+    }

@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..sim.stats import ReservoirQuantiles
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -88,7 +90,9 @@ class Histogram:
     length or busy level over the simulated interval it was held.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "total", "weight")
+    __slots__ = (
+        "name", "bounds", "counts", "count", "total", "weight", "_quantiles",
+    )
 
     def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS_MS):
         bounds = tuple(float(b) for b in bounds)
@@ -106,6 +110,10 @@ class Histogram:
         self.total = 0.0
         #: Total weight observed.
         self.weight = 0.0
+        #: Deterministic reservoir for percentiles (unweighted — each
+        #: observation counts once; bucket weights stay authoritative for
+        #: time-weighted uses).
+        self._quantiles = ReservoirQuantiles(capacity=2048)
 
     def observe(self, x: float, weight: float = 1.0) -> None:
         """Record value ``x`` with ``weight`` (default 1 = plain count)."""
@@ -122,11 +130,16 @@ class Histogram:
         self.count += 1
         self.total += x * weight
         self.weight += weight
+        self._quantiles.record(x)
 
     @property
     def mean(self) -> float:
         """Weighted mean of observations (0.0 when empty)."""
         return self.total / self.weight if self.weight else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate unweighted q-quantile of observed values."""
+        return self._quantiles.quantile(q)
 
     def snapshot(self) -> Dict[str, Any]:
         """Bucket table plus summary moments, deterministic key order."""
@@ -135,6 +148,9 @@ class Histogram:
         return {
             "buckets": buckets,
             "count": self.count,
+            "p50": self._quantiles.quantile(0.50),
+            "p95": self._quantiles.quantile(0.95),
+            "p99": self._quantiles.quantile(0.99),
             "sum": self.total,
             "weight": self.weight,
         }

@@ -1,0 +1,130 @@
+"""Inline critical-path profiler: phase spans around every blocking wait.
+
+The protocol coroutines are *serial*: between two ``yield``\\ s no
+simulated time passes, so the intervals a request spends blocked on
+events tile its span exactly.  The profiler exploits this by wrapping
+each wait in a zero-overhead-when-off phase span (name ``"ph"``), which
+lets :mod:`repro.obs.analyze` decompose measured response time into
+exhaustive, non-overlapping phases offline — router, CPU queue/service,
+NIC, wire, disk queue/seek/transfer, peer/master/coalesce waits.
+
+Two design rules keep golden traces byte-identical when profiling is
+off:
+
+* Call sites always go through ``yield from prof.wait(...)``; the
+  :class:`NullProfiler` variant is a bare passthrough generator that
+  yields the same event object, so the kernel sees an identical event
+  sequence either way.
+* Service centers stamp ``svc_start`` / ``svc_ms`` / ``svc_seek_ms``
+  onto completion events as plain attribute stores — behaviour-neutral,
+  readable after the wait to split queueing from service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .tracing import Span, Tracer
+
+__all__ = ["PHASE_SPAN", "Profiler", "NullProfiler", "NULL_PROFILER"]
+
+#: Span name reserved for profiler phase spans.
+PHASE_SPAN = "ph"
+
+
+class Profiler:
+    """Records one ``"ph"`` span per blocking wait on the request path.
+
+    Each phase span carries ``p`` (the phase name: ``cpu``, ``nic``,
+    ``bus``, ``disk``, ``wire``, ``router``, ``fetch``, ``master_wait``,
+    ``coalesce_wait``) plus whatever queue/service split the completion
+    event was stamped with.
+    """
+
+    enabled = True
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    def wait(
+        self,
+        parent: Optional[Span],
+        node: Optional[int],
+        phase: str,
+        event,
+        **attrs: Any,
+    ):
+        """Generator: wait for ``event`` under a phase span.
+
+        Use as ``value = yield from prof.wait(span, nid, "cpu", ev)``.
+        If the event was stamped by a service center, the span records
+        ``q`` — the time spent queued before service began.
+        """
+        span = self.tracer.start(PHASE_SPAN, parent=parent, node=node,
+                                 p=phase, **attrs)
+        try:
+            value = yield event
+        except BaseException:
+            span.finish(error=True)
+            raise
+        svc_start = getattr(event, "svc_start", None)
+        if svc_start is not None and svc_start >= span.start:
+            span.finish(q=svc_start - span.start)
+        else:
+            span.finish()
+        return value
+
+    def disk_wait(
+        self,
+        parent: Optional[Span],
+        node: Optional[int],
+        event,
+        runs: Iterable,
+        **attrs: Any,
+    ):
+        """Generator: wait for disk run(s) under one ``disk`` phase span.
+
+        ``event`` is what the caller blocks on (a single run's completion
+        event, or an ``all_of`` over several parallel runs); ``runs`` are
+        the underlying per-run completion events.  The span records the
+        summed seek (``seek``) and busy (``svc``) components so the
+        analyzer can split the wait into queue / seek / transfer.
+        """
+        runs = list(runs)
+        span = self.tracer.start(PHASE_SPAN, parent=parent, node=node,
+                                 p="disk", n=len(runs), **attrs)
+        try:
+            value = yield event
+        except BaseException:
+            span.finish(error=True)
+            raise
+        span.finish(
+            seek=sum(getattr(ev, "svc_seek_ms", 0.0) for ev in runs),
+            svc=sum(getattr(ev, "svc_ms", 0.0) for ev in runs),
+        )
+        return value
+
+
+class NullProfiler:
+    """Disabled profiler: waits pass straight through, no spans.
+
+    The passthrough generators yield the *same* event objects a profiled
+    run would, so event creation and processing order — and therefore
+    trace bytes and metrics — are identical with profiling on or off.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def wait(self, parent, node, phase, event, **attrs):
+        return (yield event)
+
+    def disk_wait(self, parent, node, event, runs, **attrs):
+        return (yield event)
+
+
+#: Process-wide disabled profiler (components default to this).
+NULL_PROFILER = NullProfiler()

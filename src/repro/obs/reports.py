@@ -1,0 +1,238 @@
+"""Human-readable reports over trace analysis results.
+
+Three renderers, all plain text (terminal / CI-log friendly):
+
+* :func:`render_profile_report` — the bottleneck report: per-phase
+  attribution table summing to measured mean response time, per-class
+  breakdowns, and the binding resource named from per-node utilizations;
+* :func:`render_top_requests` — the top-K slowest requests with their
+  span trees pretty-printed;
+* :func:`render_timeseries` — windowed throughput / composition /
+  utilization as charts and sparklines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..experiments.charts import line_chart, sparkline
+from ..experiments.report import format_table
+from .analyze import (
+    PHASE_ORDER,
+    Attribution,
+    SpanNode,
+    binding_resource,
+    build_trees,
+    decompose_request,
+    request_roots,
+)
+from .profile import PHASE_SPAN
+
+__all__ = [
+    "render_profile_report",
+    "render_top_requests",
+    "render_timeseries",
+    "format_span_tree",
+]
+
+
+def _ordered_phases(means: Dict[str, float]) -> List[str]:
+    """Phases in canonical order, then any unknown ones alphabetically."""
+    known = [p for p in PHASE_ORDER if p in means]
+    extra = sorted(set(means) - set(PHASE_ORDER))
+    return known + extra
+
+
+def _phase_table(attr: Attribution, title: str) -> str:
+    means = attr.phase_means()
+    mean_total = attr.mean_response_ms
+    rows = []
+    for phase in _ordered_phases(means):
+        ms = means[phase]
+        share = 100.0 * ms / mean_total if mean_total else 0.0
+        rows.append((phase, ms, share))
+    rows.append(("(residual)", attr.mean_residual_ms,
+                 100.0 * attr.mean_residual_ms / mean_total
+                 if mean_total else 0.0))
+    rows.append(("total = mean response", mean_total, 100.0))
+    return format_table(
+        ["phase", "mean ms/req", "share %"], rows,
+        title=f"{title} ({attr.count} requests)", ndigits=4,
+    )
+
+
+def render_profile_report(
+    attr: Attribution,
+    metrics: Optional[Dict[str, Any]] = None,
+    per_class: bool = True,
+) -> str:
+    """The bottleneck report for one attributed run."""
+    parts: List[str] = []
+    if not attr.count:
+        return ("no finished request roots in trace "
+                "(was the run profiled with --profile?)")
+    parts.append(_phase_table(attr, "critical-path attribution"))
+
+    if per_class:
+        for cls, sub in attr.by_class().items():
+            parts.append("")
+            parts.append(_phase_table(sub, f"class {cls!r}"))
+
+    parts.append("")
+    if metrics is not None:
+        info = binding_resource(metrics)
+        if info is not None:
+            per_res = info["per_resource"]
+            rows = [
+                (res, per_res[res]["mean"], per_res[res]["max"],
+                 per_res[res]["max_node"])
+                for res in sorted(
+                    per_res, key=lambda r: -per_res[r]["mean"]
+                )
+            ]
+            parts.append(format_table(
+                ["resource", "mean util", "max util", "hottest node"],
+                rows, title="per-resource utilization", ndigits=3,
+            ))
+            parts.append("")
+            parts.append(
+                f"binding resource: {info['resource']} "
+                f"(cluster-mean utilization {info['mean']:.3f}, "
+                f"peak {info['max']:.3f} at {info['max_node']})"
+            )
+        else:
+            parts.append("binding resource: n/a "
+                         "(metrics snapshot has no per-node utilizations)")
+    else:
+        # No metrics: name the dominant phase group instead.
+        means = attr.phase_means()
+        groups: Dict[str, float] = {}
+        for phase, ms in means.items():
+            groups[phase.split(".", 1)[0]] = (
+                groups.get(phase.split(".", 1)[0], 0.0) + ms
+            )
+        if groups:
+            top = max(groups, key=lambda g: groups[g])
+            parts.append(
+                f"dominant phase group: {top} "
+                f"({groups[top]:.4f} ms/req; pass metrics.json for "
+                f"utilization-based binding-resource analysis)"
+            )
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# span-tree pretty printing / top-K
+# ---------------------------------------------------------------------------
+def _span_label(node: SpanNode) -> str:
+    if node.name == PHASE_SPAN:
+        name = f"ph:{node.attrs.get('p', '?')}"
+    else:
+        name = node.name
+    where = f" node={node.node}" if node.node is not None else ""
+    dur = node.dur
+    timing = (
+        f" +{dur:.4f}ms" if dur is not None else " (unfinished)"
+    )
+    extras = {
+        k: v for k, v in node.attrs.items()
+        if k in ("cls", "q", "seek", "svc", "peer", "home", "n", "hits",
+                 "misses", "d", "pe", "j")
+    }
+    extra = (
+        " [" + " ".join(f"{k}={v}" for k, v in sorted(extras.items())) + "]"
+        if extras else ""
+    )
+    return f"{name}{where} @{node.start:.3f}{timing}{extra}"
+
+
+def format_span_tree(root: SpanNode, max_depth: int = 8) -> str:
+    """Indented one-line-per-span rendering of a trace tree."""
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        lines.append("  " * depth + _span_label(node))
+        if depth + 1 > max_depth:
+            if node.children:
+                lines.append("  " * (depth + 1)
+                             + f"... {len(node.children)} children elided")
+            return
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_top_requests(
+    records: Iterable[Dict[str, Any]], k: int = 10,
+    measured_only: bool = True,
+) -> str:
+    """The K slowest requests, each with its span tree."""
+    roots, _index = build_trees(records)
+    reqs = request_roots(roots, measured_only=measured_only)
+    if not reqs:
+        return "no finished request roots in trace"
+    slowest = sorted(reqs, key=lambda r: (-(r.dur or 0.0), r.span_id))[:k]
+    parts: List[str] = [f"top {len(slowest)} slowest requests"]
+    for rank, root in enumerate(slowest, 1):
+        profile = decompose_request(root)
+        top_phases = sorted(
+            profile.phases.items(), key=lambda kv: -kv[1]
+        )[:3]
+        summary = ", ".join(f"{p} {ms:.3f}ms" for p, ms in top_phases)
+        parts.append("")
+        parts.append(
+            f"#{rank} trace {root.trace_id} cls={profile.cls or '?'} "
+            f"{profile.dur:.4f} ms  (top phases: {summary})"
+        )
+        parts.append(format_span_tree(root))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# time series rendering
+# ---------------------------------------------------------------------------
+def render_timeseries(ts: Dict[str, Any]) -> str:
+    """Charts + sparklines for a :func:`build_timeseries` result."""
+    windows = ts.get("windows", [])
+    if not windows:
+        return "no windows (empty trace)"
+    x = [w["t_ms"] for w in windows]
+    parts: List[str] = []
+
+    throughput = [w["throughput_rps"] for w in windows]
+    parts.append(line_chart(
+        x, {"req/s": throughput},
+        title=f"throughput per {ts['window_ms']:.1f} ms window",
+        x_label="simulated time (ms)",
+    ))
+
+    classes = sorted({cls for w in windows for cls in w["by_class"]})
+    if classes:
+        series = {
+            cls: [w["by_class"].get(cls, 0.0) for w in windows]
+            for cls in classes
+        }
+        parts.append("")
+        parts.append(line_chart(
+            x, series, title="completions by service class per window",
+            x_label="simulated time (ms)",
+        ))
+
+    parts.append("")
+    parts.append("per-resource utilization (request-path, sparkline 0..1):")
+    for res in ("cpu", "nic", "bus", "disk"):
+        vals = [w["utilization"][res] for w in windows]
+        parts.append(f"  {res:<4} |{sparkline(vals, hi=1.0)}| "
+                     f"peak {max(vals):.3f}")
+    parts.append("mean queue depth (request-path jobs):")
+    for res in ("cpu", "nic", "bus", "disk"):
+        vals = [w["queue_depth"][res] for w in windows]
+        parts.append(f"  {res:<4} |{sparkline(vals)}| "
+                     f"peak {max(vals):.2f}")
+    if ts.get("warm_start_ms") is not None:
+        warm_flags = "".join("W" if w["warm"] else "-" for w in windows)
+        parts.append(f"  warm |{warm_flags}| "
+                     f"(measurement starts at {ts['warm_start_ms']:.1f} ms)")
+    return "\n".join(parts)

@@ -99,6 +99,10 @@ class Tracer:
         self._clock = clock or (lambda: 0.0)
         self._records: List[Dict[str, Any]] = []
         self._next_id = 0
+        # Spans started but not yet finished, by span id (insertion order).
+        # Exports append these as ``"unfinished": true`` records so a dump
+        # taken mid-run (or after a crashed process) loses nothing.
+        self._open: Dict[int, Span] = {}
 
     def attach(self, sim) -> None:
         """Read timestamps from ``sim`` from now on."""
@@ -108,6 +112,7 @@ class Tracer:
         return self._clock()
 
     def _emit(self, span: Span) -> None:
+        self._open.pop(span.span_id, None)
         self._records.append(span.to_record())
 
     # -- span creation ------------------------------------------------------
@@ -125,9 +130,11 @@ class Tracer:
             trace_id, parent_id = span_id, None
         else:
             trace_id, parent_id = parent.trace_id, parent.span_id
-        return Span(
+        span = Span(
             self, trace_id, span_id, parent_id, name, node, self._now(), attrs
         )
+        self._open[span_id] = span
+        return span
 
     def point(
         self,
@@ -147,15 +154,32 @@ class Tracer:
         """Finished span records in emission order."""
         return self._records
 
+    @property
+    def open_spans(self) -> List[Span]:
+        """Spans started but not yet finished, in start order."""
+        return list(self._open.values())
+
     def clear(self) -> None:
-        """Drop all recorded spans (id sequence keeps counting)."""
+        """Drop all recorded and open spans (id sequence keeps counting)."""
         self._records.clear()
+        self._open.clear()
 
     def to_jsonl(self) -> str:
-        """One sorted-keys JSON object per line, emission order."""
+        """One sorted-keys JSON object per line, emission order.
+
+        Spans still open when the export happens (a dump taken mid-run,
+        or a span orphaned by an exception) are appended after the
+        finished records, in start order, flagged ``"unfinished": true``
+        with a null ``end`` — they are never silently dropped.
+        """
+        records = list(self._records)
+        for span in self._open.values():
+            rec = span.to_record()
+            rec["unfinished"] = True
+            records.append(rec)
         return "".join(
             json.dumps(rec, sort_keys=True, default=float) + "\n"
-            for rec in self._records
+            for rec in records
         )
 
     def dump_jsonl(self, path) -> None:

@@ -35,6 +35,7 @@ from ..cache.block import FileLayout
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
 from ..cluster.node import Node
+from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..params import SimParams
 from ..sim.engine import Event
@@ -80,6 +81,7 @@ class PressServer:
         self.counters = CounterSet()
         #: Request tracer (no-op unless an Observability bundle is given).
         self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        self.prof = getattr(obs, "profiler", NULL_PROFILER) or NULL_PROFILER
         self._registry = obs.registry if obs is not None else None
         if obs is not None:
             self.counters.bind(obs.registry, "press")
@@ -97,23 +99,31 @@ class PressServer:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
+    def handle(
+        self, node: Node, file_id: int, parent=None
+    ) -> Generator[Event, object, str]:
         """Coroutine: fully process one GET for ``file_id`` entering at
         ``node`` (the RR-DNS choice).
 
         Returns the request's service class ("local" / "remote" /
         "coalesced" / "disk") for per-class response accounting.
+        ``parent`` is the caller's span (the client driver's, when
+        profiling).
         """
         cpu = self.params.cpu
-        span = self.tracer.start("request", node=node.node_id, file=file_id)
-        yield node.cpu.submit(cpu.parse_ms)
+        span = self.tracer.start(
+            "request", parent=parent, node=node.node_id, file=file_id
+        )
+        yield from self.prof.wait(span, node.node_id, "cpu",
+                                  node.cpu.submit(cpu.parse_ms))
 
         nblocks = self.layout.num_blocks(file_id)
         holders = self.directory.holders(file_id)
 
         if node.node_id in holders:
             self.counters.incr("local_hit", nblocks)
-            yield from self._serve_from_memory(node, node, file_id)
+            yield from self._serve_from_memory(node, node, file_id,
+                                               parent=span)
             return self._finish(span, "local")
 
         if holders:
@@ -136,14 +146,21 @@ class PressServer:
             target = self.cluster.nodes[target_id]
             if target_id != node.node_id:
                 self.counters.incr("forwarded_requests")
-                yield node.cpu.submit(cpu.forward_request_ms)
+                yield from self.prof.wait(
+                    span, node.node_id, "cpu",
+                    node.cpu.submit(cpu.forward_request_ms),
+                )
                 yield from self.cluster.network.transfer(
-                    node, target, FORWARD_MSG_KB
+                    node, target, FORWARD_MSG_KB,
+                    prof=self.prof, parent=span,
                 )
             if not done.processed:
-                yield done
+                yield from self.prof.wait(
+                    span, node.node_id, "coalesce_wait", done
+                )
             reply_via = target if self.params.press_tcp_handoff else node
-            yield from self._serve_from_memory(target, reply_via, file_id)
+            yield from self._serve_from_memory(target, reply_via, file_id,
+                                               parent=span)
             return self._finish(span, "coalesced")
 
         # Cached nowhere: the least-loaded node reads it from its local disk
@@ -152,7 +169,8 @@ class PressServer:
         self.counters.incr("disk_read", nblocks)
         if target_id == node.node_id:
             yield from self._read_from_disk(node, file_id, parent=span)
-            yield from self._serve_from_memory(node, node, file_id)
+            yield from self._serve_from_memory(node, node, file_id,
+                                               parent=span)
         else:
             self.counters.incr("forwarded_requests")
             yield from self._forward_and_serve(
@@ -178,34 +196,54 @@ class PressServer:
             "forward", parent=parent, node=entry.node_id,
             target=target.node_id,
         )
-        yield entry.cpu.submit(cpu.forward_request_ms)
-        yield from self.cluster.network.transfer(entry, target, FORWARD_MSG_KB)
+        yield from self.prof.wait(
+            span, entry.node_id, "cpu",
+            entry.cpu.submit(cpu.forward_request_ms),
+        )
+        yield from self.cluster.network.transfer(
+            entry, target, FORWARD_MSG_KB, prof=self.prof, parent=span
+        )
         if from_disk:
             yield from self._read_from_disk(target, file_id, parent=span)
         if self.params.press_tcp_handoff:
             # Hand-off: the reply leaves the serving node directly.
-            yield from self._serve_from_memory(target, target, file_id)
+            yield from self._serve_from_memory(target, target, file_id,
+                                               parent=span)
         else:
             # Relay: serving node sends to the entry node, which replies.
-            yield from self._serve_from_memory(target, entry, file_id)
+            yield from self._serve_from_memory(target, entry, file_id,
+                                               parent=span)
         span.finish()
 
     # ------------------------------------------------------------------
     # data paths
     # ------------------------------------------------------------------
     def _serve_from_memory(
-        self, server: Node, reply_via: Node, file_id: int
+        self, server: Node, reply_via: Node, file_id: int,
+        parent: Optional[Span] = None,
     ) -> Generator[Event, object, None]:
         """Serve a resident file and consider replication."""
+        prof = self.prof
         cache = self.caches[server.node_id]
         if file_id in cache:
             cache.touch(file_id)
         size_kb = self.layout.size_kb(file_id)
-        yield server.cpu.submit(self.params.cpu.serve_ms(size_kb))
+        yield from prof.wait(
+            parent, server.node_id, "cpu",
+            server.cpu.submit(self.params.cpu.serve_ms(size_kb)),
+        )
         if reply_via.node_id != server.node_id:
-            yield from self.cluster.network.transfer(server, reply_via, size_kb)
-            yield reply_via.cpu.submit(self.params.cpu.forward_request_ms)
-        yield reply_via.nic.submit(self.params.network.transfer_ms(size_kb))
+            yield from self.cluster.network.transfer(
+                server, reply_via, size_kb, prof=prof, parent=parent
+            )
+            yield from prof.wait(
+                parent, reply_via.node_id, "cpu",
+                reply_via.cpu.submit(self.params.cpu.forward_request_ms),
+            )
+        yield from prof.wait(
+            parent, reply_via.node_id, "nic",
+            reply_via.nic.submit(self.params.network.transfer_ms(size_kb)),
+        )
         self._maybe_replicate(server, file_id)
 
     def _read_from_disk(
@@ -220,8 +258,16 @@ class PressServer:
         try:
             size_kb = self.layout.size_kb(file_id)
             runs = self._extent_runs(file_id)
-            yield self.sim.all_of([node.disk.submit(run) for run in runs])
-            yield node.bus.submit(self.params.bus.transfer_ms(size_kb))
+            # Extent reads go to the disk queue in parallel; one disk
+            # phase span summarizes their combined queue/seek/transfer.
+            run_events = [node.disk.submit(run) for run in runs]
+            yield from self.prof.disk_wait(
+                span, node.node_id, self.sim.all_of(run_events), run_events
+            )
+            yield from self.prof.wait(
+                span, node.node_id, "bus",
+                node.bus.submit(self.params.bus.transfer_ms(size_kb)),
+            )
             self._cache_file(node.node_id, file_id)
             span.finish(runs=len(runs))
         finally:

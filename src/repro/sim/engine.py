@@ -45,7 +45,14 @@ class Event:
     processes it.  Events are single-use: triggering twice is an error.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+    __slots__ = (
+        "sim", "callbacks", "_value", "_ok", "_triggered", "_processed",
+        # Service-phase stamps, assigned only by service centers when a
+        # job enters service (see ServiceCenter._start / Disk._dispatch).
+        # Left unset on every other event; the profiler reads them with
+        # getattr(ev, ..., None) to split queueing from service time.
+        "svc_start", "svc_ms", "svc_seek_ms",
+    )
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim

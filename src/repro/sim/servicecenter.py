@@ -12,7 +12,7 @@ the queue-management core in :mod:`repro.cluster.disk`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Deque, Tuple
 
 from .engine import Event, Simulator
 from .stats import UtilizationTracker
@@ -100,6 +100,10 @@ class ServiceCenter:
     def _start(self, demand_ms: float, done: Event, value: Any) -> None:
         self._in_service += 1
         self.utilization.on_start(self.sim.now)
+        # Stamp service entry on the completion event so the profiler can
+        # split the wait into queueing vs. service after the fact.
+        done.svc_start = self.sim.now
+        done.svc_ms = demand_ms
         self.sim.call_after(demand_ms, self._finish, done, value)
 
     def _finish(self, done: Event, value: Any) -> None:

@@ -17,6 +17,7 @@ __all__ = [
     "RunningStats",
     "ReservoirQuantiles",
     "CounterSet",
+    "WindowedSeries",
 ]
 
 
@@ -204,6 +205,85 @@ class ReservoirQuantiles:
     def count(self) -> int:
         """Observations seen (not the reservoir size)."""
         return self._seen
+
+
+class WindowedSeries:
+    """A time series binned into fixed-width windows of simulated time.
+
+    Two accumulation modes:
+
+    * :meth:`add` drops a point sample (e.g. one completed request) into
+      the window containing ``t`` — rendering rates per window;
+    * :meth:`add_interval` spreads ``value`` over ``[t0, t1)``
+      proportionally to each window's overlap — rendering busy-time
+      integrals (utilization) and time-averaged queue depths.
+
+    Windows are indexed from ``t_origin``; only touched windows are
+    stored, so sparse series stay cheap.
+    """
+
+    __slots__ = ("window_ms", "t_origin", "_bins")
+
+    def __init__(self, window_ms: float, t_origin: float = 0.0):
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.window_ms = float(window_ms)
+        self.t_origin = float(t_origin)
+        self._bins: Dict[int, float] = {}
+
+    def _index(self, t: float) -> int:
+        return int((t - self.t_origin) // self.window_ms)
+
+    def add(self, t: float, value: float = 1.0) -> None:
+        """Add a point sample at time ``t``."""
+        idx = self._index(t)
+        self._bins[idx] = self._bins.get(idx, 0.0) + value
+
+    def add_interval(self, t0: float, t1: float, value: float = 1.0) -> None:
+        """Spread ``value`` (a rate, per ms) over the interval ``[t0, t1)``.
+
+        Each overlapped window accumulates ``value * overlap_ms`` — so a
+        busy interval with ``value=1.0`` integrates busy-time, and
+        dividing a window's total by ``window_ms`` recovers the mean
+        level over that window.
+        """
+        if t1 < t0:
+            raise ValueError("interval end precedes start")
+        if t1 == t0:
+            return
+        first, last = self._index(t0), self._index(t1)
+        for idx in range(first, last + 1):
+            lo = self.t_origin + idx * self.window_ms
+            hi = lo + self.window_ms
+            overlap = min(t1, hi) - max(t0, lo)
+            if overlap > 0.0:
+                self._bins[idx] = self._bins.get(idx, 0.0) + value * overlap
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been accumulated."""
+        return not self._bins
+
+    def window_range(self):
+        """(first_index, last_index) of touched windows; (0, -1) if empty."""
+        if not self._bins:
+            return (0, -1)
+        return (min(self._bins), max(self._bins))
+
+    def values(self, first: Optional[int] = None,
+               last: Optional[int] = None) -> List[float]:
+        """Dense per-window totals over ``[first, last]`` (default: the
+        touched range), zero-filled where nothing accumulated."""
+        lo, hi = self.window_range()
+        if first is None:
+            first = lo
+        if last is None:
+            last = hi
+        return [self._bins.get(i, 0.0) for i in range(first, last + 1)]
+
+    def window_start(self, index: int) -> float:
+        """Simulated time at which window ``index`` begins."""
+        return self.t_origin + index * self.window_ms
 
 
 class CounterSet:

@@ -13,8 +13,8 @@ real logs drop into any experiment unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional
+from dataclasses import dataclass, replace
+from typing import Iterator
 
 import numpy as np
 

@@ -105,6 +105,13 @@ class ClosedLoopDriver:
             obs.registry.histogram("client.response_ms")
             if obs is not None else None
         )
+        # When profiling, each request gets a *client-side* root span
+        # covering router + wire + server work + reply — exactly the
+        # client-observed elapsed time the response statistics measure,
+        # so offline phase attribution can sum to mean_response_ms.
+        prof = getattr(obs, "profiler", None)
+        self._prof = prof if (prof is not None and prof.enabled) else None
+        self._tracer = obs.tracer if obs is not None else None
 
     # -- the client loop -----------------------------------------------------
     def _next_request(self) -> Optional[int]:
@@ -139,14 +146,37 @@ class ClosedLoopDriver:
             measured = self._warmed
             node = self.cluster.dns.pick()
             start = self.sim.now
-            # Front-end: router forwards, request crosses the LAN.
-            yield self.cluster.router.forward()
-            yield from net.transfer(None, node, HTTP_REQUEST_KB)
-            service_class = yield self.sim.process(
-                self.service.handle(node, file_id)
-            )
-            # Reply wire latency back to the client.
-            yield self.sim.timeout(params.network.latency_ms)
+            if self._prof is None:
+                # Front-end: router forwards, request crosses the LAN.
+                yield self.cluster.router.forward()
+                yield from net.transfer(None, node, HTTP_REQUEST_KB)
+                service_class = yield self.sim.process(
+                    self.service.handle(node, file_id)
+                )
+                # Reply wire latency back to the client.
+                yield self.sim.timeout(params.network.latency_ms)
+            else:
+                prof = self._prof
+                root = self._tracer.start(
+                    "client", node=node.node_id, file=file_id
+                )
+                yield from prof.wait(
+                    root, None, "router", self.cluster.router.forward()
+                )
+                yield from net.transfer(None, node, HTTP_REQUEST_KB,
+                                        prof=prof, parent=root)
+                service_class = yield self.sim.process(
+                    self.service.handle(node, file_id, parent=root)
+                )
+                yield from prof.wait(
+                    root, None, "wire",
+                    self.sim.timeout(params.network.latency_ms),
+                )
+                root.finish(
+                    measured=measured,
+                    cls=service_class if isinstance(service_class, str)
+                    else None,
+                )
             if self._response_hist is not None:
                 self._response_hist.observe(self.sim.now - start)
             if measured:

@@ -26,6 +26,7 @@ from typing import Generator
 from ..cache.block import FileLayout
 from ..cluster.node import Node
 from ..core.middleware import CoopCacheLayer
+from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER
 from ..sim.engine import Event
 
@@ -40,22 +41,34 @@ class CoopCacheWebServer:
         self.params = layer.params
         self.layout: FileLayout = layer.layout
         self.tracer = obs.tracer if obs is not None else NULL_TRACER
+        self.prof = getattr(obs, "profiler", NULL_PROFILER) or NULL_PROFILER
         self._registry = obs.registry if obs is not None else None
 
-    def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
+    def handle(
+        self, node: Node, file_id: int, parent=None
+    ) -> Generator[Event, object, str]:
         """Coroutine: fully process one GET for ``file_id`` at ``node``.
 
         Returns the request's service class ("local" / "remote" /
-        "disk") for per-class response-time accounting.
+        "disk") for per-class response-time accounting.  ``parent`` is
+        the caller's span (the client driver's, when profiling).
         """
         cpu = self.params.cpu
-        span = self.tracer.start("request", node=node.node_id, file=file_id)
-        yield node.cpu.submit(cpu.parse_ms)
+        prof = self.prof
+        span = self.tracer.start(
+            "request", parent=parent, node=node.node_id, file=file_id
+        )
+        yield from prof.wait(span, node.node_id, "cpu",
+                             node.cpu.submit(cpu.parse_ms))
         service_class = yield from self.layer.read(node, file_id, span=span)
         size_kb = self.layout.size_kb(file_id)
-        yield node.cpu.submit(cpu.serve_ms(size_kb))
+        yield from prof.wait(span, node.node_id, "cpu",
+                             node.cpu.submit(cpu.serve_ms(size_kb)))
         # Reply to the client over the shared LAN.
-        yield node.nic.submit(self.params.network.transfer_ms(size_kb))
+        yield from prof.wait(
+            span, node.node_id, "nic",
+            node.nic.submit(self.params.network.transfer_ms(size_kb)),
+        )
         span.finish(cls=service_class)
         if self._registry is not None:
             self._registry.counter(f"requests_{service_class}").incr()

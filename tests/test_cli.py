@@ -36,7 +36,7 @@ class TestCli:
         assert "Table 1" in out and "# table1 #" in out
 
     def test_simulation_artifact_with_tiny_workload(self, capsys, monkeypatch):
-        from repro.experiments import defaults, figures
+        from repro.experiments import defaults
 
         monkeypatch.setattr(defaults, "workload", lambda name: tiny_trace())
         monkeypatch.setattr(defaults, "NUM_CLIENTS", 4)
@@ -54,3 +54,73 @@ class TestCli:
             "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
         }
         assert set(cli.ARTIFACTS) == expected
+
+
+class TestRunAndAnalyzeCli:
+    @pytest.fixture()
+    def tiny_defaults(self, monkeypatch):
+        from repro.experiments import defaults
+
+        monkeypatch.setattr(defaults, "workload", lambda name: tiny_trace())
+        monkeypatch.setattr(defaults, "NUM_CLIENTS", 4)
+
+    def test_run_profile_prints_report(self, capsys, tiny_defaults, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert cli.main([
+            "run", "--profile", "--mem-mb", "0.25",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path profile" in out
+        assert "total = mean response" in out
+        assert "binding resource:" in out
+        assert trace.exists() and metrics.exists()
+
+    def test_analyze_all_outputs(self, capsys, tiny_defaults, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert cli.main([
+            "run", "--profile", "--mem-mb", "0.25",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+
+        perfetto = tmp_path / "perfetto.json"
+        ts_out = tmp_path / "ts.json"
+        assert cli.main([
+            "analyze", str(trace), str(metrics),
+            "--report", "--perfetto", str(perfetto),
+            "--timeseries-out", str(ts_out), "--top", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "binding resource:" in out
+        assert "top 2 slowest" in out
+        # Both exports are valid JSON with the expected top-level shape.
+        import json
+
+        doc = json.loads(perfetto.read_text())
+        assert "traceEvents" in doc and doc["traceEvents"]
+        ts = json.loads(ts_out.read_text())
+        assert ts["windows"]
+
+    def test_analyze_defaults_to_report(self, capsys, tiny_defaults, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "run", "--profile", "--mem-mb", "0.25", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["analyze", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "dominant phase group" in out  # no metrics file given
+
+    def test_verbose_flag_stripped(self, capsys):
+        assert cli.main(["-v", "list"]) == 0
+        assert "artifacts:" in capsys.readouterr().out
+
+    def test_run_without_profile_has_no_report(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        assert cli.main(["run", "--mem-mb", "0.25"]) == 0
+        assert "critical-path profile" not in capsys.readouterr().out

@@ -91,6 +91,30 @@ class TestHistogram:
         h = Histogram("x")
         assert h.bounds == DEFAULT_BUCKETS_MS
 
+    def test_percentiles_in_snapshot(self):
+        h = Histogram("x")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        snap = h.snapshot()
+        # Reservoir capacity exceeds 1000, so these are near-exact.
+        assert snap["p50"] == pytest.approx(500.0, rel=0.02)
+        assert snap["p95"] == pytest.approx(950.0, rel=0.02)
+        assert snap["p99"] == pytest.approx(990.0, rel=0.02)
+        assert snap["p50"] == h.quantile(0.5)
+
+    def test_percentiles_empty(self):
+        snap = Histogram("x").snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0
+
+    def test_percentiles_deterministic(self):
+        def build():
+            h = Histogram("x")
+            for v in range(10_000):
+                h.observe((v * 7919) % 1000 / 3.0)
+            return h.snapshot()
+
+        assert build() == build()
+
 
 class TestMetricsRegistry:
     def test_get_or_create(self):
@@ -206,6 +230,34 @@ class TestTracer:
         t.clear()
         assert t.records == []
 
+    def test_unfinished_spans_flagged_in_export(self):
+        t = Tracer()
+        a = t.start("outer")
+        b = t.start("inner", parent=a)
+        b.finish()
+        assert t.open_spans == [a]
+        recs = [json.loads(line) for line in t.to_jsonl().splitlines()]
+        # Finished records first, then open spans flagged unfinished.
+        assert [r["name"] for r in recs] == ["inner", "outer"]
+        assert "unfinished" not in recs[0]
+        assert recs[1]["unfinished"] is True
+        assert recs[1]["end"] is None
+
+    def test_finish_clears_unfinished_flag(self):
+        t = Tracer()
+        a = t.start("outer")
+        a.finish()
+        assert t.open_spans == []
+        recs = [json.loads(line) for line in t.to_jsonl().splitlines()]
+        assert len(recs) == 1 and "unfinished" not in recs[0]
+
+    def test_clear_drops_open_spans(self):
+        t = Tracer()
+        t.start("dangling")
+        t.clear()
+        assert t.open_spans == []
+        assert t.to_jsonl() == ""
+
 
 class TestNullTracer:
     def test_all_noops(self):
@@ -288,6 +340,17 @@ class TestObservability:
     def test_trace_off_uses_null_tracer(self):
         obs = Observability(trace=False)
         assert obs.tracer is NULL_TRACER
+
+    def test_profile_off_by_default(self):
+        from repro.obs import NULL_PROFILER
+
+        assert Observability().profiler is NULL_PROFILER
+
+    def test_profile_implies_tracing(self):
+        obs = Observability(trace=False, profile=True)
+        assert obs.tracer.enabled
+        assert obs.profiler.enabled
+        assert obs.profiler.tracer is obs.tracer
 
     def test_negative_invariant_every_rejected(self):
         with pytest.raises(ValueError):

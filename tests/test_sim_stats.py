@@ -1,6 +1,5 @@
 """Unit tests for measurement instruments (repro.sim.stats)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

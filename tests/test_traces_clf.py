@@ -1,6 +1,5 @@
 """Tests for the Common Log Format parser."""
 
-import numpy as np
 import pytest
 
 from repro.traces import parse_clf_line, parse_clf_lines

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.traces import (
-    Trace,
     TraceSpec,
     generate,
     load_trace,
