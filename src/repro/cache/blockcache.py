@@ -174,6 +174,19 @@ class BlockCache:
         """Resident dirty masters."""
         return len(self._dirty)
 
+    def clear(self) -> Tuple[BlockId, ...]:
+        """Drop every resident block (fail-stop crash: memory is lost).
+
+        Returns the blocks that were resident (masters first) so the
+        middleware's crash repair can account for them; dirty flags are
+        discarded with the data — that *is* the data loss being modeled.
+        """
+        lost = tuple(self._masters) + tuple(self._nonmasters)
+        self._masters = AgedLRU()
+        self._nonmasters = AgedLRU()
+        self._dirty = set()
+        return lost
+
     def promote_to_master(self, block: BlockId) -> None:
         """Turn a resident non-master copy into the master (age kept).
 

@@ -16,7 +16,7 @@ mapping"; a file's home is where its blocks live on disk.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .block import BlockId
 
@@ -50,6 +50,21 @@ class GlobalDirectory:
         """Count of master blocks recorded at ``node_id`` (O(n); debugging
         and invariant checks only)."""
         return sum(1 for holder in self._masters.values() if holder == node_id)
+
+    def purge_node(self, node_id: int) -> List[BlockId]:
+        """Drop every entry pointing at ``node_id``; returns those blocks.
+
+        Directory repair after a fail-stop crash: the node's memory — and
+        with it every master copy it held — is gone, so entries naming it
+        are orphans.  Only its own entries are touched (O(n) over the
+        directory; crashes are rare events, not a hot path).
+        """
+        purged = [
+            blk for blk, holder in self._masters.items() if holder == node_id
+        ]
+        for blk in purged:
+            del self._masters[blk]
+        return purged
 
 
 class HomeMap:

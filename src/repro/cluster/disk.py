@@ -75,7 +75,7 @@ class Disk:
     __slots__ = (
         "sim", "name", "params", "discipline", "queue_limit", "utilization",
         "service_stats", "seeks", "contiguous_hits", "completed", "reads_kb",
-        "_queue", "_busy", "_head",
+        "_queue", "_busy", "_head", "stall_until",
     )
 
     def __init__(
@@ -108,6 +108,22 @@ class Disk:
         self._busy = False
         #: (file_id, extent, next_block) the head would continue at.
         self._head: Optional[Tuple[int, int, int]] = None
+        #: Fault injection: no run enters service before this instant.
+        #: 0.0 (the past) means never stalled — the dispatch-path check
+        #: is then always false and costs one comparison.
+        self.stall_until = 0.0
+
+    def stall(self, duration_ms: float) -> None:
+        """Freeze the head for ``duration_ms`` (fault injection).
+
+        Queued and newly submitted runs wait; the run currently in
+        service (if any) completes normally — the stall models a firmware
+        hiccup between operations, not a torn read.  Overlapping stalls
+        extend to the latest deadline.
+        """
+        if duration_ms <= 0:
+            raise ValueError("stall duration must be positive")
+        self.stall_until = max(self.stall_until, self.sim.now + duration_ms)
 
     # -- client API ---------------------------------------------------------
     def submit(self, request: DiskRequest) -> Event:
@@ -184,6 +200,10 @@ class Disk:
 
     def _dispatch(self) -> None:
         if not self._queue:
+            return
+        if self.sim.now < self.stall_until:
+            # Stalled: re-attempt dispatch the instant the stall clears.
+            self.sim.call_at(self.stall_until, self._maybe_dispatch)
             return
         idx = self._select_index()
         request, done = self._queue.pop(idx)

@@ -16,6 +16,7 @@ from typing import Generator, Optional
 from ..obs.profile import NULL_PROFILER
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
+from ..sim.faults import NULL_FAULTS
 from .node import Node
 
 __all__ = ["Network"]
@@ -24,7 +25,7 @@ __all__ = ["Network"]
 class Network:
     """Point-to-point message timing over the shared LAN."""
 
-    __slots__ = ("sim", "params", "bytes_kb", "messages")
+    __slots__ = ("sim", "params", "bytes_kb", "messages", "faults")
 
     def __init__(self, sim: Simulator, params: SimParams):
         self.sim = sim
@@ -33,6 +34,11 @@ class Network:
         self.bytes_kb = 0.0
         #: Total messages since the last reset.
         self.messages = 0
+        #: Fault injector (LAN degradation adds wire latency); set by
+        #: FaultInjector.install().  The extra latency folds into the one
+        #: existing wire timeout, so the kernel event stream is unchanged
+        #: whether or not fault injection is wired in.
+        self.faults = NULL_FAULTS
 
     def transfer(
         self, src: Optional[Node], dst: Optional[Node], size_kb: float,
@@ -59,7 +65,10 @@ class Network:
                 src.nic.submit(self.params.network.transfer_ms(size_kb)),
             )
         yield from prof.wait(
-            parent, None, "wire", self.sim.timeout(self.params.network.latency_ms)
+            parent, None, "wire",
+            self.sim.timeout(
+                self.params.network.latency_ms + self.faults.extra_latency_ms()
+            ),
         )
 
     def reset_stats(self) -> None:

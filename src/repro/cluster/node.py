@@ -27,7 +27,7 @@ __all__ = ["Node"]
 class Node:
     """One cluster node's hardware."""
 
-    __slots__ = ("sim", "node_id", "params", "cpu", "nic", "bus", "disk")
+    __slots__ = ("sim", "node_id", "params", "cpu", "nic", "bus", "disk", "up")
 
     def __init__(
         self,
@@ -58,6 +58,19 @@ class Node:
             discipline=disk_discipline,
             queue_limit=params.queue_limit,
         )
+        #: Fail-stop liveness flag, flipped only by the fault injector.
+        #: Protocol layers consult the injector (which owns detection
+        #: semantics); DNS reads this directly to skip dead nodes.
+        self.up = True
+
+    def crash(self) -> None:
+        """Fail-stop: the node leaves the cluster (memory contents are the
+        serving layers' to discard via their crash listeners)."""
+        self.up = False
+
+    def restore(self) -> None:
+        """The node rejoins, cold."""
+        self.up = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Node({self.node_id})"

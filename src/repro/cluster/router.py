@@ -10,7 +10,7 @@ the shape of the paper's pipeline).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
@@ -49,11 +49,19 @@ class RoundRobinDNS:
         self._nodes: List[Node] = list(nodes)
         self._next = 0
 
-    def pick(self) -> Node:
-        """The node the next request is directed to."""
-        node = self._nodes[self._next]
-        self._next = (self._next + 1) % len(self._nodes)
-        return node
+    def pick(self) -> Optional[Node]:
+        """The next *live* node in rotation, or None if every node is down.
+
+        DNS health checking: crashed nodes are skipped (their requests
+        would otherwise black-hole).  With all nodes up — the only state
+        a fault-free run ever sees — this is the plain rotation.
+        """
+        for _ in range(len(self._nodes)):
+            node = self._nodes[self._next]
+            self._next = (self._next + 1) % len(self._nodes)
+            if node.up:
+                return node
+        return None
 
     @property
     def nodes(self) -> Sequence[Node]:

@@ -30,6 +30,7 @@ from ..cluster.cluster import Cluster
 from ..cluster.node import Node
 from ..params import DEFAULT_PARAMS, SimParams
 from ..sim.engine import Event, Process, Simulator
+from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.rng import stream
 from .config import CoopCacheConfig
 from .hints import HintDirectory
@@ -56,6 +57,7 @@ class CoopCacheService:
         params: SimParams = DEFAULT_PARAMS,
         home_strategy: str = "round_robin",
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.config = config or CoopCacheConfig()
         self.params = params
@@ -71,6 +73,12 @@ class CoopCacheService:
             directory = HintDirectory(
                 self.config.hint_accuracy, num_nodes, stream(seed, "hints")
             )
+        #: Fault injector (None without a plan — zero overhead, and unit
+        #: tests get the whole chaos stack from one constructor argument).
+        self.faults: Optional[FaultInjector] = None
+        if fault_plan:
+            self.faults = FaultInjector(fault_plan, params, seed=seed)
+            self.faults.install(self.sim, self.cluster)
         self.layer = CoopCacheLayer(
             self.cluster,
             self.layout,
@@ -78,6 +86,7 @@ class CoopCacheService:
             capacity_blocks=blocks_for_mb(mem_mb_per_node, params),
             config=self.config,
             directory=directory,
+            faults=self.faults,
         )
 
     def node(self, node_id: int) -> Node:

@@ -42,6 +42,7 @@ from ..cluster.node import Node
 from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..sim.engine import Event
+from ..sim.faults import NULL_FAULTS, RequestAborted
 from ..sim.stats import CounterSet
 from .config import CoopCacheConfig
 
@@ -68,6 +69,7 @@ class CoopCacheLayer:
         config: Optional[CoopCacheConfig] = None,
         directory: Optional[GlobalDirectory] = None,
         obs=None,
+        faults=None,
     ):
         if homes.num_nodes != len(cluster):
             raise ValueError("home map node count != cluster size")
@@ -89,6 +91,13 @@ class CoopCacheLayer:
         self.tracer = obs.tracer if obs is not None else NULL_TRACER
         #: Critical-path profiler (no-op unless profiling was requested).
         self.prof = getattr(obs, "profiler", NULL_PROFILER) or NULL_PROFILER
+        #: Fault injector; NULL_FAULTS (constant answers, no events) when
+        #: no chaos plan is installed, so fault paths cost one attribute
+        #: read and the fault-free event stream is untouched.
+        self.faults = faults if faults is not None else NULL_FAULTS
+        if self.faults.active:
+            self.faults.crash_listeners.append(self._on_node_crash)
+            self.faults.restart_listeners.append(self._on_node_restart)
         if obs is not None:
             self.counters.bind(obs.registry, "coopcache")
             obs.registry.gauge("coopcache.resident_blocks",
@@ -200,6 +209,14 @@ class CoopCacheLayer:
                 span, node.node_id, "fetch", self.sim.all_of(fetches),
                 d=len(by_home), pe=len(by_peer), j=len(joined),
             )
+        if self.faults.active and self.faults.is_down(node.node_id):
+            # The serving node crashed while this request was in flight:
+            # fail-stop took its connection state with it, so the request
+            # fails explicitly even though peers may have done work for it.
+            self.faults.counters.incr("requests_lost_to_crash")
+            raise RequestAborted(
+                f"serving node {node.node_id} crashed mid-request"
+            )
         if by_home:
             return "disk"
         if by_peer or joined:
@@ -232,6 +249,119 @@ class CoopCacheLayer:
             table = self._inflight[node_id]
             for blk in blocks:
                 table.pop(blk, None)
+
+    # ------------------------------------------------------------------
+    # fault handling (fail-stop model; DESIGN.md S14)
+    # ------------------------------------------------------------------
+    def _on_node_crash(self, node_id: int) -> None:
+        """Directory repair for a fail-stop crash.
+
+        Runs synchronously *inside* the crash event (before any other
+        process can observe the dead node): the node's memory is cleared,
+        every directory entry naming it is purged, and for each purged
+        master the youngest surviving replica — if any — is re-elected in
+        place (promote + directory update, no data movement: the replica
+        *is* the data).  Blocks with no surviving replica simply leave
+        cluster memory; the next reader re-creates the master from disk.
+        Dirty masters lose their unwritten modifications — that is the
+        data loss fail-stop implies, and it is counted, not hidden.
+        """
+        cache = self.caches[node_id]
+        dirty_lost = cache.num_dirty
+        lost = cache.clear()
+        purged = self.directory.purge_node(node_id)
+        reelected = 0
+        for blk in purged:
+            target = self._youngest_replica(blk, exclude=node_id)
+            if target is None:
+                continue
+            self.caches[target].promote_to_master(blk)
+            self.directory.set_master(blk, target)
+            reelected += 1
+        fc = self.faults.counters
+        fc.incr("cc_blocks_lost", len(lost))
+        fc.incr("cc_masters_purged", len(purged))
+        fc.incr("cc_masters_reelected", reelected)
+        if dirty_lost:
+            fc.incr("cc_dirty_lost", dirty_lost)
+        self.tracer.point(
+            "fault_repair", node=node_id, lost=len(lost),
+            purged=len(purged), reelected=reelected,
+        )
+
+    def _on_node_restart(self, node_id: int) -> None:
+        """A restarted node rejoins cold.
+
+        Nothing is re-registered here: the crash repair already moved or
+        dropped its masters, and new ones appear only as blocks are
+        re-fetched through the normal read paths (the recovery unit tests
+        pin exactly this).
+        """
+        self.tracer.point("fault_recovery", node=node_id)
+
+    def _youngest_replica(self, blk: BlockId, exclude: int) -> Optional[int]:
+        """Up node holding the youngest non-master copy of ``blk``.
+
+        Deterministic re-election: youngest age wins (it is the most
+        recently useful copy), ties break to the lowest node id.
+        """
+        best_id: Optional[int] = None
+        best_age = -1.0  # ages are sim timestamps, >= 0
+        for cache in self.caches:
+            nid = cache.node_id
+            if nid == exclude or self.faults.is_down(nid):
+                continue
+            if blk in cache and not cache.is_master(blk):
+                age = cache.age_of(blk)
+                if age > best_age:
+                    best_age = age
+                    best_id = nid
+        return best_id
+
+    def _detect_fault(
+        self, node: Node, span: Optional[Span]
+    ) -> Generator[Event, object, None]:
+        """Coroutine: the fixed failure-detection wait.
+
+        Detection is modeled as a timeout, not a live probe exchange, so
+        it adds kernel events only when a fault is actually in the way.
+        """
+        self.faults.counters.incr("fault_detects")
+        yield from self.prof.wait(
+            span, node.node_id, "fault_detect",
+            self.sim.timeout(self.params.faults.detect_timeout_ms),
+        )
+
+    def _await_home(
+        self, node: Node, home_id: int, attempt: int, span: Optional[Span]
+    ) -> Generator[Event, object, int]:
+        """Coroutine: wait (bounded) until ``home_id`` is reachable.
+
+        Each round costs one detection timeout plus one capped,
+        jittered backoff; past ``max_retries`` the request fails
+        explicitly with :class:`RequestAborted` — degraded, never hung.
+        Returns the updated attempt count.
+        """
+        faults = self.faults
+        fparams = self.params.faults
+        while faults.is_down(home_id) or not faults.link_ok(
+            node.node_id, home_id
+        ):
+            if attempt >= fparams.max_retries:
+                faults.counters.incr("aborted_requests")
+                span.finish(error=True, aborted=True)
+                raise RequestAborted(
+                    f"home node {home_id} unreachable after {attempt} retries"
+                )
+            yield from self._detect_fault(node, span)
+            delay = faults.backoff_ms(attempt)
+            if delay > 0.0:
+                yield from self.prof.wait(
+                    span, node.node_id, "retry_wait", self.sim.timeout(delay)
+                )
+            faults.counters.incr("disk_retries")
+            attempt += 1
+        return attempt
 
     # ------------------------------------------------------------------
     # write path (paper Section 6 future work)
@@ -380,6 +510,11 @@ class CoopCacheLayer:
             if blk in cache and cache.is_dirty(blk):
                 by_home[self.homes.home_of(blk.file_id)].append(blk)
         for home_id, blks in by_home.items():
+            if self.faults.active and self.faults.is_down(home_id):
+                # Home disk unreachable: the blocks stay dirty and are
+                # retried on the next flush (or lost with the node).
+                self.faults.counters.incr("writebacks_deferred", len(blks))
+                continue
             home = self.cluster.nodes[home_id]
             total_kb = sum(self.layout.block_size_kb(b) for b in blks)
             if home_id != node.node_id:
@@ -469,24 +604,48 @@ class CoopCacheLayer:
         requests coalesce onto it; re-resolution goes straight to the
         fetch paths (not :meth:`read_blocks`, which would see this very
         fetch in the in-flight table and wait on itself).
+
+        A fault-free run chases chained pending reads unboundedly — safe,
+        because each wait is on a read that is guaranteed to complete.
+        Under fault injection that guarantee is gone (reads abort, nodes
+        crash and re-read), so the chase is bounded: each extra round
+        pays a capped, jittered backoff and past ``max_retries`` the
+        requester stops chasing and reads the disk itself.
         """
-        if not pending.processed:
-            yield from self.prof.wait(
-                parent, node.node_id, "master_wait", pending
-            )
-        cache = self.caches[node.node_id]
-        if blk in cache:
-            self.counters.incr("local_hit")
-            cache.touch(blk, self.sim.now)
-            return
-        holder = self._route(blk)
-        if holder is not None and holder != node.node_id:
-            yield from self._fetch_from_peer(node, holder, [blk], parent=parent)
-            return
-        again = self._pending_master.get(blk)
-        if again is not None and again is not pending:
-            yield from self._retry_after(node, blk, again, parent=parent)
-            return
+        faults = self.faults
+        attempt = 0
+        while True:
+            if not pending.processed:
+                yield from self.prof.wait(
+                    parent, node.node_id, "master_wait", pending
+                )
+            cache = self.caches[node.node_id]
+            if blk in cache:
+                self.counters.incr("local_hit")
+                cache.touch(blk, self.sim.now)
+                return
+            holder = self._route(blk)
+            if holder is not None and holder != node.node_id:
+                yield from self._fetch_from_peer(
+                    node, holder, [blk], parent=parent
+                )
+                return
+            again = self._pending_master.get(blk)
+            if again is None or again is pending:
+                break
+            attempt += 1
+            if faults.active:
+                if attempt > self.params.faults.max_retries:
+                    # Stop chasing other nodes' reads; go to disk directly.
+                    faults.counters.incr("retry_chases_capped")
+                    break
+                delay = faults.backoff_ms(attempt - 1)
+                if delay > 0.0:
+                    yield from self.prof.wait(
+                        parent, node.node_id, "retry_wait",
+                        self.sim.timeout(delay),
+                    )
+            pending = again
         yield from self._fetch_from_disk(
             node, self.homes.home_of(blk.file_id), [blk], parent=parent
         )
@@ -505,16 +664,51 @@ class CoopCacheLayer:
         allows under its "instantaneous directory" assumption.
         """
         peer = self.cluster.nodes[peer_id]
-        peer_cache = self.caches[peer_id]
-        net = self.cluster.network
         span = self.tracer.start(
             "peer_fetch", parent=parent, node=node.node_id,
             peer=peer_id, n=len(blocks),
         )
+        try:
+            yield from self._peer_fetch_body(
+                node, peer, peer_id, blocks, span
+            )
+        except RequestAborted:
+            # An abort below (home unreachable on the fallback path)
+            # still closes this span so the trace stays well-formed.
+            span.finish(error=True, aborted=True)
+            raise
+
+    def _peer_fetch_body(
+        self, node: Node, peer: Node, peer_id: int, blocks: List[BlockId],
+        span,
+    ) -> Generator[Event, object, None]:
+        """The peer-fetch protocol proper (span lifecycle in the caller)."""
+        peer_cache = self.caches[peer_id]
+        net = self.cluster.network
+        faults = self.faults
+
+        if faults.active and not self._peer_ok(node, peer_id):
+            # Peer already down (or the link is): pay the detection
+            # timeout once, then re-route every block past it.
+            yield from self._detect_fault(node, span)
+            faults.counters.incr("peer_fetch_failovers")
+            yield from self._reresolve(node, blocks, peer_id, parent=span)
+            span.finish(hits=0, misses=len(blocks), failover=True)
+            return
 
         # Request message: n -> m.
         yield from net.transfer(node, peer, self._msg_kb,
                                 prof=self.prof, parent=span)
+
+        if faults.active and not self._peer_ok(node, peer_id):
+            # Peer crashed while the request message was in flight: the
+            # reply will never come.  Same failover as above — a crash
+            # purged the directory, so re-resolution cannot loop back.
+            yield from self._detect_fault(node, span)
+            faults.counters.incr("peer_fetch_failovers")
+            yield from self._reresolve(node, blocks, peer_id, parent=span)
+            span.finish(hits=0, misses=len(blocks), failover=True)
+            return
 
         present = [blk for blk in blocks if blk in peer_cache]
         missing = [blk for blk in blocks if blk not in peer_cache]
@@ -542,37 +736,56 @@ class CoopCacheLayer:
 
         if missing:
             self.counters.incr("peer_miss", len(missing))
-            # Hint-chain correction (Sarkar & Hartman): the contacted
-            # peer knows more recent state, so the request is forwarded
-            # toward the block's true master (one hop) rather than
-            # bouncing straight to disk.  Blocks that genuinely have no
-            # in-memory master fall back to their home disk.
-            chase: Dict[int, List[BlockId]] = defaultdict(list)
-            by_home: Dict[int, List[BlockId]] = defaultdict(list)
-            for blk in missing:
-                true_holder = self.directory.lookup(blk)
-                if true_holder is not None and true_holder not in (
-                    node.node_id, peer_id
-                ):
-                    chase[true_holder].append(blk)
-                else:
-                    by_home[self.homes.home_of(blk.file_id)].append(blk)
-            fallback = [
-                self.sim.process(
-                    self._fetch_from_peer(node, h, blks, parent=span)
-                )
-                for h, blks in chase.items()
-            ] + [
-                self.sim.process(
-                    self._fetch_from_disk(node, h, blks, parent=span)
-                )
-                for h, blks in by_home.items()
-            ]
-            yield from self.prof.wait(
-                span, node.node_id, "fetch", self.sim.all_of(fallback),
-                d=len(by_home), pe=len(chase), j=0,
-            )
+            yield from self._reresolve(node, missing, peer_id, parent=span)
         span.finish(hits=len(present), misses=len(missing))
+
+    def _peer_ok(self, node: Node, peer_id: int) -> bool:
+        """The peer is up and the link to it carries traffic."""
+        return not self.faults.is_down(peer_id) and self.faults.link_ok(
+            node.node_id, peer_id
+        )
+
+    def _reresolve(
+        self, node: Node, blocks: List[BlockId], exclude: int,
+        parent: Optional[Span] = None,
+    ) -> Generator[Event, object, None]:
+        """Re-route ``blocks`` after a peer miss or peer failure.
+
+        Hint-chain correction (Sarkar & Hartman): the contacted peer
+        knows more recent state, so the request is forwarded toward the
+        block's true master (one hop) rather than bouncing straight to
+        disk.  Blocks that genuinely have no in-memory master — or whose
+        recorded master is ``exclude`` or a down node — fall back to
+        their home disk.  A crash purges the directory synchronously, so
+        re-resolution can never chase a dead node forever.
+        """
+        chase: Dict[int, List[BlockId]] = defaultdict(list)
+        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        for blk in blocks:
+            true_holder = self.directory.lookup(blk)
+            if (
+                true_holder is not None
+                and true_holder not in (node.node_id, exclude)
+                and not self.faults.is_down(true_holder)
+            ):
+                chase[true_holder].append(blk)
+            else:
+                by_home[self.homes.home_of(blk.file_id)].append(blk)
+        fallback = [
+            self.sim.process(
+                self._fetch_from_peer(node, h, blks, parent=parent)
+            )
+            for h, blks in chase.items()
+        ] + [
+            self.sim.process(
+                self._fetch_from_disk(node, h, blks, parent=parent)
+            )
+            for h, blks in by_home.items()
+        ]
+        yield from self.prof.wait(
+            parent, node.node_id, "fetch", self.sim.all_of(fallback),
+            d=len(by_home), pe=len(chase), j=0,
+        )
 
     # ------------------------------------------------------------------
     # disk path (miss)
@@ -597,20 +810,46 @@ class CoopCacheLayer:
         ]
         for blk in registered:
             self._pending_master[blk] = done
+        faults = self.faults
         try:
-            if remote_home:
-                yield from net.transfer(node, home, self._msg_kb,
-                                        prof=self.prof, parent=span)
+            attempt = 0
+            while True:
+                if faults.active:
+                    # Bounded wait for the home to be reachable; raises
+                    # RequestAborted past the retry budget.
+                    attempt = yield from self._await_home(
+                        node, home_id, attempt, span
+                    )
+                if remote_home:
+                    yield from net.transfer(node, home, self._msg_kb,
+                                            prof=self.prof, parent=span)
+                    if faults.active and (
+                        faults.is_down(home_id)
+                        or not faults.link_ok(node.node_id, home_id)
+                    ):
+                        # Home died while the request message was in
+                        # flight; next round re-enters _await_home.
+                        faults.counters.incr("disk_requests_lost")
+                        attempt += 1
+                        continue
 
-            # Block-granular interface: the stream reads its blocks one
-            # at a time, so blocks from concurrent streams interleave in
-            # the disk queue.  Under FIFO this is the paper's "12 seeks
-            # instead of 4" pathology; the SCAN discipline re-groups the
-            # queued blocks by (file, extent, block) and undoes it.
-            runs = self._runs(blocks)
-            for run in runs:
-                ev = home.disk.submit(run)
-                yield from self.prof.disk_wait(span, home_id, ev, (ev,))
+                # Block-granular interface: the stream reads its blocks
+                # one at a time, so blocks from concurrent streams
+                # interleave in the disk queue.  Under FIFO this is the
+                # paper's "12 seeks instead of 4" pathology; the SCAN
+                # discipline re-groups the queued blocks by (file,
+                # extent, block) and undoes it.
+                runs = self._runs(blocks)
+                for run in runs:
+                    ev = home.disk.submit(run)
+                    yield from self.prof.disk_wait(span, home_id, ev, (ev,))
+                if faults.active and faults.is_down(home_id):
+                    # Home crashed after the head moved but before the
+                    # data left the node: the read is lost, retry it.
+                    faults.counters.incr("disk_reads_lost")
+                    attempt += 1
+                    continue
+                break
             self.counters.incr("disk_read", len(blocks))
             self.counters.incr("disk_runs", len(runs))
 
@@ -676,6 +915,12 @@ class CoopCacheLayer:
         decisions are instantaneous state changes (their network cost is
         the forwarded block's transfer, spawned asynchronously).
         """
+        if self.faults.active and self.faults.is_down(node.node_id):
+            # The requester crashed while the data was in flight: it has
+            # nowhere to land, and installing it would resurrect memory
+            # fail-stop destroyed (and point the directory at a corpse).
+            self.faults.counters.incr("installs_dropped", len(blocks))
+            return
         cache = self.caches[node.node_id]
         yield from self.prof.wait(
             parent, node.node_id, "cpu",
@@ -764,6 +1009,11 @@ class CoopCacheLayer:
         for blk in blocks:
             by_home[self.homes.home_of(blk.file_id)].append(blk)
         for home_id, blks in by_home.items():
+            if self.faults.active and self.faults.is_down(home_id):
+                # The evicted copy is already gone from memory and its
+                # home disk is unreachable: the modification is lost.
+                self.faults.counters.incr("writebacks_lost", len(blks))
+                continue
             home = self.cluster.nodes[home_id]
             total_kb = sum(self.layout.block_size_kb(b) for b in blks)
             if home_id != node_id:

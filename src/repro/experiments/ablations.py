@@ -17,6 +17,7 @@ from ..core.config import CoopCacheConfig
 from ..core.wholefile import WholeFileCoopServer
 from ..params import DEFAULT_PARAMS, HARDWARE_CONFIGS
 from ..sim.engine import Simulator
+from ..sim.faults import FaultPlan
 from ..web.client import ClosedLoopDriver
 from . import defaults
 from .report import format_table
@@ -33,6 +34,7 @@ __all__ = [
     "a7_writes", "render_a7",
     "a8_temporal", "render_a8",
     "a9_policies", "render_a9",
+    "a10_faults", "render_a10",
 ]
 
 
@@ -585,4 +587,94 @@ def render_a9(data: Optional[dict] = None, **kw) -> str:
          "kmc local", "hybrid local", "kmc resp ms", "hybrid resp ms"],
         rows,
         title=f"A9: replacement-policy improvement, {data['trace']}, 8 nodes",
+    )
+
+
+# ---------------------------------------------------------------------------
+# A10: availability and graceful degradation under injected crashes
+# ---------------------------------------------------------------------------
+def a10_faults(
+    trace_name: str = "rutgers",
+    crash_rates: Sequence[float] = (0.0, 1.0, 3.0),
+    mem_mb: Optional[float] = None,
+    num_nodes: int = 8,
+    plan_seed: int = 1,
+) -> dict:
+    """Throughput/response degradation vs crash rate (DESIGN.md S14).
+
+    The paper evaluates a perfect cluster; this ablation asks what each
+    system's protocol does when nodes fail-stop and return.  For every
+    system a fault-free baseline run sizes the fault-plan horizon, then
+    seeded :class:`~repro.sim.FaultPlan`\\ s with ``crashes_per_node``
+    expected crashes are replayed over the *same* trace.  Every request
+    must terminate — degraded or "failed", never hung — so the sweep
+    doubles as an availability check on all four systems.
+    """
+    trace = defaults.workload(trace_name)
+    mem = mem_mb if mem_mb is not None else _default_mem()
+    systems = []
+    for system in ("press", "cc-basic", "cc-sched", "cc-kmc"):
+        base = _std_point(trace, system, mem, num_nodes=num_nodes)
+        horizon = base.workload.total_ms
+        points = []
+        for rate in crash_rates:
+            if rate <= 0.0:
+                res = base
+            else:
+                plan = FaultPlan.random(
+                    plan_seed, horizon, num_nodes, crashes_per_node=rate
+                )
+                res = run_experiment(
+                    ExperimentConfig(
+                        system=system,
+                        trace=trace,
+                        num_nodes=num_nodes,
+                        mem_mb_per_node=mem,
+                        num_clients=defaults.NUM_CLIENTS,
+                        faults=plan,
+                    )
+                )
+            w = res.workload
+            points.append(
+                {
+                    "crashes_per_node": rate,
+                    "throughput_rps": w.throughput_rps,
+                    "vs_fault_free": (
+                        w.throughput_rps / base.throughput_rps
+                        if base.throughput_rps else 0.0
+                    ),
+                    "mean_response_ms": w.mean_response_ms,
+                    "failed_requests": w.failed_requests,
+                    "node_crashes": res.fault_counters.get("node_crashes", 0),
+                }
+            )
+        systems.append({"system": system, "points": points})
+    return {
+        "trace": trace_name,
+        "mem_mb": mem,
+        "num_nodes": num_nodes,
+        "crash_rates": list(crash_rates),
+        "systems": systems,
+    }
+
+
+def render_a10(data: Optional[dict] = None, **kw) -> str:
+    """Print-ready A10."""
+    data = data or a10_faults(**kw)
+    rows = []
+    for sysrow in data["systems"]:
+        for p in sysrow["points"]:
+            rows.append(
+                [sysrow["system"], p["crashes_per_node"], p["node_crashes"],
+                 p["throughput_rps"], p["vs_fault_free"],
+                 p["mean_response_ms"], p["failed_requests"]]
+            )
+    return format_table(
+        ["System", "Crash rate", "Crashes", "Throughput (req/s)",
+         "vs fault-free", "Mean resp ms", "Failed"],
+        rows,
+        title=(
+            f"A10: graceful degradation under crashes, {data['trace']}, "
+            f"{data['num_nodes']} nodes, {data['mem_mb']:g} MB/node"
+        ),
     )

@@ -15,6 +15,11 @@ Usage::
     # Same, with critical-path profiling and an inline bottleneck report.
     python -m repro.experiments.cli run --profile --trace trace.jsonl
 
+    # Chaos run: fault-free baseline, then the same workload under a
+    # seeded fault plan (crashes/link drops/disk stalls), side by side.
+    python -m repro.experiments.cli chaos --system cc-kmc \\
+        --crashes-per-node 2 --plan-out plan.json --trace chaos.jsonl
+
     # Offline analysis of a dumped run: attribution report, Perfetto
     # export, windowed time series, slowest requests.
     python -m repro.experiments.cli analyze trace.jsonl metrics.json \\
@@ -37,7 +42,9 @@ from typing import Callable, Dict
 from . import ablations, defaults, figures, tables
 from .report import banner
 
-__all__ = ["ARTIFACTS", "main", "run_command", "analyze_command"]
+__all__ = [
+    "ARTIFACTS", "main", "run_command", "analyze_command", "chaos_command",
+]
 
 #: artifact name -> zero-argument renderer.
 ARTIFACTS: Dict[str, Callable[[], str]] = {
@@ -59,6 +66,7 @@ ARTIFACTS: Dict[str, Callable[[], str]] = {
     "a7": ablations.render_a7,
     "a8": ablations.render_a8,
     "a9": ablations.render_a9,
+    "a10": ablations.render_a10,
 }
 
 
@@ -163,6 +171,142 @@ def run_command(argv) -> int:
 
         print()
         print(banner("critical-path profile"))
+        print(render_profile_report(
+            attribute(obs.tracer.records),
+            metrics=obs.registry.snapshot(),
+        ))
+    return 0
+
+
+def _chaos_parser() -> argparse.ArgumentParser:
+    from ..traces.datasets import TRACE_NAMES
+    from .runner import SYSTEMS
+
+    p = argparse.ArgumentParser(
+        prog="repro-experiments chaos",
+        description="Run a workload under a deterministic fault plan and "
+                    "compare it with the fault-free baseline.",
+    )
+    p.add_argument("--system", default="cc-kmc",
+                   choices=list(SYSTEMS), help="server variant")
+    p.add_argument("--workload", default="rutgers", choices=list(TRACE_NAMES),
+                   help="trace name (scaled per REPRO_SCALE)")
+    p.add_argument("--mem-mb", type=_positive(float), default=None,
+                   help="per-node memory MB (default: 32 x scale)")
+    p.add_argument("--nodes", type=_positive(int), default=8,
+                   help="cluster size")
+    p.add_argument("--clients", type=_positive(int), default=None,
+                   help="closed-loop clients (default: REPRO_CLIENTS)")
+    p.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    p.add_argument("--plan-seed", type=int, default=1,
+                   help="fault-plan RNG seed (independent of --seed)")
+    p.add_argument("--crashes-per-node", type=float, default=1.0,
+                   help="expected crashes per node over the run")
+    p.add_argument("--link-drops", type=_non_negative_int, default=0,
+                   help="number of transient link failures")
+    p.add_argument("--disk-stalls", type=_non_negative_int, default=0,
+                   help="number of disk stalls")
+    p.add_argument("--plan", metavar="FILE", default=None,
+                   help="replay this fault plan JSON instead of generating "
+                        "one (skips the baseline sizing run)")
+    p.add_argument("--plan-out", metavar="FILE", default=None,
+                   help="archive the fault plan as JSON to FILE")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write the chaotic run's span trace JSONL to FILE")
+    p.add_argument("--metrics-out", metavar="FILE", default=None,
+                   help="write the metrics-registry snapshot (JSON) to FILE")
+    p.add_argument("--profile", action="store_true",
+                   help="phase spans + critical-path report (fault waits "
+                        "show up as fault.detect / retry.backoff)")
+    return p
+
+
+def chaos_command(argv) -> int:
+    """``chaos`` subcommand: baseline vs faulted run of one workload."""
+    from dataclasses import replace
+
+    from ..obs import Observability
+    from ..sim.faults import FaultPlan
+    from .runner import ExperimentConfig, run_experiment
+
+    opts = _chaos_parser().parse_args(argv)
+    trace = defaults.workload(opts.workload)
+    base_cfg = ExperimentConfig(
+        system=opts.system,
+        trace=trace,
+        num_nodes=opts.nodes,
+        mem_mb_per_node=(
+            opts.mem_mb if opts.mem_mb is not None else 32.0 * defaults.SCALE
+        ),
+        num_clients=opts.clients or defaults.NUM_CLIENTS,
+        seed=opts.seed,
+    )
+    baseline = None
+    if opts.plan:
+        try:
+            plan = FaultPlan.load(opts.plan)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            print(f"chaos: cannot load plan: {exc}", file=sys.stderr)
+            return 2
+    else:
+        # Fault-free baseline sizes the plan horizon to this workload —
+        # and is the comparison row printed below.
+        baseline = run_experiment(base_cfg)
+        plan = FaultPlan.random(
+            opts.plan_seed,
+            baseline.workload.total_ms,
+            opts.nodes,
+            crashes_per_node=opts.crashes_per_node,
+            link_drops=opts.link_drops,
+            disk_stalls=opts.disk_stalls,
+        )
+    if opts.plan_out:
+        plan.dump(opts.plan_out)
+    obs = Observability(
+        trace=opts.trace is not None, profile=opts.profile
+    )
+    result = run_experiment(replace(base_cfg, faults=plan), obs=obs)
+
+    print(banner(f"chaos {base_cfg.system_name()} / {opts.workload}"))
+    print(f"fault plan        {len(plan)} events over "
+          f"{plan.horizon_ms:.0f} ms"
+          + (f" (replaying {opts.plan})" if opts.plan else "")
+          + (f" -> {opts.plan_out}" if opts.plan_out else ""))
+    w = result.workload
+    if baseline is not None:
+        b = baseline.workload
+        ratio = (w.throughput_rps / b.throughput_rps
+                 if b.throughput_rps else 0.0)
+        print(f"throughput        {w.throughput_rps:.1f} req/s "
+              f"(fault-free {b.throughput_rps:.1f}, x{ratio:.2f})")
+        print(f"mean response     {w.mean_response_ms:.2f} ms "
+              f"(fault-free {b.mean_response_ms:.2f})")
+    else:
+        print(f"throughput        {w.throughput_rps:.1f} req/s")
+        print(f"mean response     {w.mean_response_ms:.2f} ms")
+    print(f"failed requests   {w.failed_requests} of "
+          f"{w.measured_requests + w.failed_requests} measured")
+    for cls in sorted(w.response_by_class_ms):
+        print(f"  {cls:<10} {w.response_by_class_ms[cls]:8.2f} ms"
+              f"  x{w.requests_by_class[cls]}")
+    if result.fault_counters:
+        print("fault counters    "
+              + " ".join(f"{k}={v}"
+                         for k, v in sorted(result.fault_counters.items())))
+    if opts.trace:
+        obs.tracer.dump_jsonl(opts.trace)
+        print(f"trace             {len(obs.tracer.records)} spans -> "
+              f"{opts.trace} (sha256 {obs.tracer.digest()[:16]}...)")
+    if opts.metrics_out:
+        obs.registry.dump(opts.metrics_out)
+        print(f"metrics           -> {opts.metrics_out}")
+    if opts.profile:
+        from ..obs.analyze import attribute
+        from ..obs.reports import render_profile_report
+
+        print()
+        print(banner("critical-path profile (chaotic run)"))
         print(render_profile_report(
             attribute(obs.tracer.records),
             metrics=obs.registry.snapshot(),
@@ -278,6 +422,8 @@ def main(argv=None) -> int:
     args = _configure_logging(list(sys.argv[1:] if argv is None else argv))
     if args and args[0] == "run":
         return run_command(args[1:])
+    if args and args[0] == "chaos":
+        return chaos_command(args[1:])
     if args and args[0] == "analyze":
         return analyze_command(args[1:])
     if not args or args == ["list"]:

@@ -27,6 +27,7 @@ from ..core.middleware import CoopCacheLayer
 from ..params import DEFAULT_PARAMS, SimParams
 from ..press.server import PressServer
 from ..sim.engine import Simulator
+from ..sim.faults import FaultInjector, FaultPlan
 from ..sim.rng import stream
 from ..traces.model import Trace
 from ..web.client import ClosedLoopDriver, WorkloadResult
@@ -54,6 +55,9 @@ class ExperimentConfig:
     params: SimParams = field(default_factory=lambda: DEFAULT_PARAMS)
     home_strategy: str = "round_robin"
     seed: int = 0
+    #: Fault schedule injected into the run; the empty plan (default)
+    #: adds zero kernel events and reproduces the golden traces.
+    faults: FaultPlan = field(default_factory=FaultPlan.none)
 
     def system_name(self) -> str:
         """Printable system label."""
@@ -72,6 +76,8 @@ class ExperimentResult:
     hit_rates: Dict[str, float]
     #: Raw protocol counters for deeper analysis.
     counters: Dict[str, int]
+    #: Fault/recovery counters (empty for fault-free runs).
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -85,7 +91,8 @@ class ExperimentResult:
 
 
 def _build_cc(
-    cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig, obs=None
+    cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig, obs=None,
+    faults=None,
 ):
     cluster = Cluster(
         sim, cfg.params, cfg.num_nodes, disk_discipline=config.disk_discipline
@@ -105,16 +112,18 @@ def _build_cc(
         config=config,
         directory=directory,
         obs=obs,
+        faults=faults,
     )
     return cluster, CoopCacheWebServer(layer, obs=obs)
 
 
-def _build_press(cfg: ExperimentConfig, sim: Simulator, obs=None):
+def _build_press(cfg: ExperimentConfig, sim: Simulator, obs=None, faults=None):
     # PRESS always schedules its disk queue (it is the tuned baseline).
     cluster = Cluster(sim, cfg.params, cfg.num_nodes, disk_discipline=SCAN)
     layout = FileLayout(cfg.trace.sizes_kb, cfg.params)
     server = PressServer(
-        cluster, layout, capacity_kb=cfg.mem_mb_per_node * 1024.0, obs=obs
+        cluster, layout, capacity_kb=cfg.mem_mb_per_node * 1024.0, obs=obs,
+        faults=faults,
     )
     return cluster, server
 
@@ -132,17 +141,27 @@ def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
     sim = Simulator()
     if obs is not None:
         obs.attach(sim)
+    # A non-empty plan builds a real injector; fault-free runs keep every
+    # component on NULL_FAULTS (zero extra kernel events — golden-pinned).
+    faults = (
+        FaultInjector(cfg.faults, cfg.params, seed=cfg.seed, obs=obs)
+        if cfg.faults else None
+    )
     if isinstance(cfg.system, CoopCacheConfig):
-        cluster, service = _build_cc(cfg, sim, cfg.system, obs=obs)
+        cluster, service = _build_cc(cfg, sim, cfg.system, obs=obs,
+                                     faults=faults)
     elif cfg.system == "press":
-        cluster, service = _build_press(cfg, sim, obs=obs)
+        cluster, service = _build_press(cfg, sim, obs=obs, faults=faults)
     elif cfg.system in SYSTEMS:
-        cluster, service = _build_cc(cfg, sim, variant(cfg.system), obs=obs)
+        cluster, service = _build_cc(cfg, sim, variant(cfg.system), obs=obs,
+                                     faults=faults)
     else:
         raise ValueError(
             f"unknown system {cfg.system!r}; choose from {SYSTEMS} "
             "or pass a CoopCacheConfig"
         )
+    if faults is not None:
+        faults.install(sim, cluster)
     if obs is not None:
         cluster.bind_metrics(obs.registry)
         if obs.invariant_every and hasattr(service, "layer"):
@@ -166,6 +185,7 @@ def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
         num_clients=cfg.num_clients,
         warmup_frac=cfg.warmup_frac,
         obs=obs,
+        faults=faults,
     )
     workload = driver.run()
     logger.info(
@@ -180,5 +200,8 @@ def run_experiment(cfg: ExperimentConfig, obs=None) -> ExperimentResult:
             service.counters.as_dict()
             if hasattr(service, "counters")
             else service.layer.counters.as_dict()
+        ),
+        fault_counters=(
+            faults.counters.as_dict() if faults is not None else {}
         ),
     )

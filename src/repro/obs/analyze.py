@@ -55,6 +55,7 @@ PHASE_ORDER: Tuple[str, ...] = (
     "wire",
     "disk.queue", "disk.seek", "disk.transfer",
     "peer.wait", "master.wait", "coalesce.wait",
+    "fault.detect", "retry.backoff",
     "other",
 )
 
@@ -245,6 +246,10 @@ def _attribute_phase(p: SpanNode, phases: Dict[str, float]) -> None:
         phases["master.wait"] += dur
     elif name == "coalesce_wait":
         phases["coalesce.wait"] += dur
+    elif name == "fault_detect":
+        phases["fault.detect"] += dur
+    elif name == "retry_wait":
+        phases["retry.backoff"] += dur
     elif name == "fetch":
         _refine_fetch(p, phases)
     else:

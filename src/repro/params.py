@@ -141,6 +141,34 @@ class RouterParams:
 
 
 @dataclass(frozen=True)
+class FaultParams:
+    """Failure-detection and retry constants (fault-injection extension).
+
+    The paper does not model failures, so none of these come from Table 1;
+    the provenance of each choice is documented in DESIGN.md S14.  In
+    brief: detection is a few RTTs of a VIA-class LAN plus keepalive
+    processing (TCP-keepalive-style detection scaled to SAN latencies);
+    three retries is the classic NFS/RPC soft-mount default; the backoff
+    cap is chosen to stay well under typical restart times so retries
+    resolve by failover, not by waiting out the outage.
+    """
+
+    #: Time for a requester to decide a peer/home is dead (ms).  ~130x the
+    #: 0.038 ms one-way wire latency: a keepalive probe plus grace period.
+    detect_timeout_ms: float = 5.0
+    #: Bounded retries before a request fails explicitly (RPC-style).
+    max_retries: int = 3
+    #: First retry backoff (ms); doubles per attempt.
+    backoff_base_ms: float = 1.0
+    #: Hard ceiling on any single backoff wait (ms) — the `_retry_after`
+    #: starvation fix: no retry can wait longer than this.
+    backoff_cap_ms: float = 50.0
+    #: Multiplicative jitter range: each wait is scaled by a factor in
+    #: [1, 1 + backoff_jitter), decorrelating simultaneous retriers.
+    backoff_jitter: float = 0.5
+
+
+@dataclass(frozen=True)
 class SimParams:
     """Complete parameter set for one simulation (paper Table 1).
 
@@ -163,6 +191,9 @@ class SimParams:
     queue_limit: int = 100_000
     #: PRESS-only: model the ~7% TCP-handoff CPU advantage (paper Sec. 6).
     press_tcp_handoff: bool = False
+    #: Failure detection / retry constants (only consulted when a
+    #: :class:`~repro.sim.faults.FaultInjector` is active).
+    faults: FaultParams = field(default_factory=FaultParams)
 
     def blocks_of(self, size_kb: float) -> int:
         """Number of cache blocks needed for a file of ``size_kb``."""

@@ -139,6 +139,15 @@ class FileCache:
             raise KeyError(f"file {file_id} not cached at {self.node_id}")
         self._drop(file_id)
 
+    def clear(self) -> int:
+        """Drop every resident file (fail-stop crash: memory is lost);
+        returns how many were dropped.  The directory is kept in sync, so
+        content-aware dispatch stops routing at this node immediately."""
+        files = list(self._lru)
+        for file_id in files:
+            self._drop(file_id)
+        return len(files)
+
     def lru_order(self) -> List[int]:
         """Resident files, oldest first (for tests and introspection)."""
         return list(self._lru)

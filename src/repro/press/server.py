@@ -39,6 +39,7 @@ from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..params import SimParams
 from ..sim.engine import Event
+from ..sim.faults import NULL_FAULTS
 from ..sim.stats import CounterSet
 from .filecache import FileCache, ReplicaDirectory
 
@@ -59,6 +60,7 @@ class PressServer:
         replicate_threshold: int = 8,
         replicate_headroom: int = 4,
         obs=None,
+        faults=None,
     ):
         """``replicate_threshold``: serving-node load (queued jobs) above
         which PRESS considers a file hot enough to replicate;
@@ -83,6 +85,9 @@ class PressServer:
         self.tracer = obs.tracer if obs is not None else NULL_TRACER
         self.prof = getattr(obs, "profiler", NULL_PROFILER) or NULL_PROFILER
         self._registry = obs.registry if obs is not None else None
+        self.faults = faults if faults is not None else NULL_FAULTS
+        if self.faults.active:
+            self.faults.crash_listeners.append(self._on_node_crash)
         if obs is not None:
             self.counters.bind(obs.registry, "press")
             for cache in self.caches:
@@ -116,15 +121,40 @@ class PressServer:
         )
         yield from self.prof.wait(span, node.node_id, "cpu",
                                   node.cpu.submit(cpu.parse_ms))
+        service_class = yield from self._dispatch(node, file_id, span)
+        if self.faults.active and self.faults.is_down(node.node_id):
+            # Entry node crashed mid-request: fail-stop took the client
+            # connection with it — the request fails, loudly.
+            self.faults.counters.incr("press_requests_lost")
+            span.finish(cls="failed", error=True)
+            if self._registry is not None:
+                self._registry.counter("requests_failed").incr()
+            return "failed"
+        return self._finish(span, service_class)
 
+    def _dispatch(
+        self, node: Node, file_id: int, span: Span
+    ) -> Generator[Event, object, str]:
+        """Route and serve one request; returns its service class."""
+        cpu = self.params.cpu
+        faults = self.faults
         nblocks = self.layout.num_blocks(file_id)
         holders = self.directory.holders(file_id)
+        if faults.active:
+            # Crash repair purges a dead node's entries synchronously, so
+            # holders are normally all alive; the filter also covers a
+            # holder behind a dropped link.
+            holders = frozenset(
+                h for h in holders
+                if not faults.is_down(h)
+                and faults.link_ok(node.node_id, h)
+            )
 
         if node.node_id in holders:
             self.counters.incr("local_hit", nblocks)
             yield from self._serve_from_memory(node, node, file_id,
                                                parent=span)
-            return self._finish(span, "local")
+            return "local"
 
         if holders:
             target = self.cluster.nodes[self._least_loaded(holders)]
@@ -132,7 +162,7 @@ class PressServer:
             self.counters.incr("forwarded_requests")
             yield from self._forward_and_serve(node, target, file_id,
                                                from_disk=False, parent=span)
-            return self._finish(span, "remote")
+            return "remote"
 
         pending = self._adopting.get(file_id)
         if pending is not None:
@@ -158,14 +188,24 @@ class PressServer:
                 yield from self.prof.wait(
                     span, node.node_id, "coalesce_wait", done
                 )
+            if faults.active and faults.is_down(target_id):
+                # The adopting node died before the file could be
+                # served from it: every disk holds every file, so the
+                # entry node reads its own copy instead.
+                yield from self._failover_to_local_disk(node, file_id, span)
+                return "coalesced"
             reply_via = target if self.params.press_tcp_handoff else node
             yield from self._serve_from_memory(target, reply_via, file_id,
                                                parent=span)
-            return self._finish(span, "coalesced")
+            return "coalesced"
 
         # Cached nowhere: the least-loaded node reads it from its local disk
         # (files are replicated on every node's disk) and adopts the file.
-        target_id = self._least_loaded(range(len(self.cluster)))
+        if faults.active:
+            alive = [n.node_id for n in self.cluster.nodes if n.up]
+            target_id = self._least_loaded(alive or [node.node_id])
+        else:
+            target_id = self._least_loaded(range(len(self.cluster)))
         self.counters.incr("disk_read", nblocks)
         if target_id == node.node_id:
             yield from self._read_from_disk(node, file_id, parent=span)
@@ -177,7 +217,21 @@ class PressServer:
                 node, self.cluster.nodes[target_id], file_id,
                 from_disk=True, parent=span,
             )
-        return self._finish(span, "disk")
+        return "disk"
+
+    def _failover_to_local_disk(
+        self, node: Node, file_id: int, span: Optional[Span]
+    ) -> Generator[Event, object, None]:
+        """Serve ``file_id`` from the entry node's own disk after the
+        chosen serving node failed (PRESS replicates files on every
+        disk, so a local read is always possible)."""
+        self.faults.counters.incr("press_failovers")
+        yield from self.prof.wait(
+            span, node.node_id, "fault_detect",
+            self.sim.timeout(self.params.faults.detect_timeout_ms),
+        )
+        yield from self._read_from_disk(node, file_id, parent=span)
+        yield from self._serve_from_memory(node, node, file_id, parent=span)
 
     def _finish(self, span: Span, service_class: str) -> str:
         """Close a request span and count its class in the registry."""
@@ -203,6 +257,16 @@ class PressServer:
         yield from self.cluster.network.transfer(
             entry, target, FORWARD_MSG_KB, prof=self.prof, parent=span
         )
+        if self.faults.active and (
+            self.faults.is_down(target.node_id)
+            or not self.faults.link_ok(entry.node_id, target.node_id)
+        ):
+            # Target died (or vanished behind a dropped link) while the
+            # hand-off was in flight: the entry node serves from its own
+            # disk copy instead.
+            yield from self._failover_to_local_disk(entry, file_id, span)
+            span.finish(failover=True)
+            return
         if from_disk:
             yield from self._read_from_disk(target, file_id, parent=span)
         if self.params.press_tcp_handoff:
@@ -294,6 +358,11 @@ class PressServer:
 
     def _cache_file(self, node_id: int, file_id: int) -> None:
         """Adopt a file into a node's memory (if it can ever fit)."""
+        if self.faults.active and self.faults.is_down(node_id):
+            # The adopter crashed while the read was in flight: caching
+            # there would point the replica directory at lost memory.
+            self.faults.counters.incr("press_installs_dropped")
+            return
         cache = self.caches[node_id]
         if file_id in cache:
             cache.touch(file_id)
@@ -320,6 +389,7 @@ class PressServer:
             n.node_id
             for n in self.cluster.nodes
             if n.node_id not in self.directory.holders(file_id)
+            and (not self.faults.active or n.up)
         ]
         if not candidates:
             return
@@ -349,6 +419,21 @@ class PressServer:
         if file_id not in self.caches[dst_id]:
             self._cache_file(dst_id, file_id)
         span.finish()
+
+    # ------------------------------------------------------------------
+    # fault handling (fail-stop; DESIGN.md S14)
+    # ------------------------------------------------------------------
+    def _on_node_crash(self, node_id: int) -> None:
+        """Fail-stop crash: the node's whole-file cache is lost.
+
+        Runs synchronously inside the crash event.  Dropping through
+        :meth:`FileCache.clear` keeps the replica directory in sync, so
+        content-aware dispatch stops routing at the dead node the
+        instant it dies; files whose only copy lived there are re-read
+        from any surviving disk on the next request.
+        """
+        lost = self.caches[node_id].clear()
+        self.faults.counters.incr("press_files_lost", lost)
 
     # ------------------------------------------------------------------
     # measurement interface

@@ -13,6 +13,14 @@ Public surface:
 
 from . import theory
 from .engine import AllOf, AnyOf, Event, Process, SimulationError, Simulator, Timeout
+from .faults import (
+    NULL_FAULTS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NullFaultInjector,
+    RequestAborted,
+)
 from .rng import derive_seed, stream
 from .servicecenter import QueueFullError, ServiceCenter
 from .stats import (
@@ -38,6 +46,12 @@ __all__ = [
     "RunningStats",
     "ReservoirQuantiles",
     "CounterSet",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "NullFaultInjector",
+    "NULL_FAULTS",
+    "RequestAborted",
     "stream",
     "derive_seed",
     "theory",

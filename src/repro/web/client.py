@@ -20,6 +20,7 @@ from typing import Dict, Generator, Optional, Protocol
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
 from ..sim.engine import Event, Simulator
+from ..sim.faults import NULL_FAULTS
 from ..sim.stats import ReservoirQuantiles, RunningStats, ThroughputMeter
 from ..traces.model import Trace
 
@@ -66,6 +67,13 @@ class WorkloadResult:
     response_by_class_ms: Dict[str, float] = field(default_factory=dict)
     #: Measured request count per service class.
     requests_by_class: Dict[str, int] = field(default_factory=dict)
+    #: Measured requests that terminated as "failed" under fault
+    #: injection (excluded from throughput and response moments; their
+    #: latency still shows up in ``response_by_class_ms["failed"]``).
+    failed_requests: int = 0
+    #: Simulated time at the end of the whole run, warm-up included
+    #: (baseline horizon for sizing a fault plan over the same trace).
+    total_ms: float = 0.0
 
 
 class ClosedLoopDriver:
@@ -80,6 +88,7 @@ class ClosedLoopDriver:
         num_clients: int = 64,
         warmup_frac: float = 0.25,
         obs=None,
+        faults=None,
     ):
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -98,6 +107,8 @@ class ClosedLoopDriver:
         self.response = RunningStats()
         self.quantiles = ReservoirQuantiles()
         self.response_by_class: Dict[str, RunningStats] = {}
+        self.failed_requests = 0
+        self._faults = faults if faults is not None else NULL_FAULTS
         self._warm_time: float = sim.now
         # Whole-run (warm-up included) response-time histogram in the
         # shared registry; never reset, so trace-derived totals match.
@@ -135,6 +146,30 @@ class ClosedLoopDriver:
         self.response.reset()
         self.quantiles.reset()
         self.response_by_class.clear()
+        self.failed_requests = 0
+
+    def _pick_node(self) -> Generator[Event, object, Optional[Node]]:
+        """DNS pick with a bounded retry loop when the cluster is dark.
+
+        Fault-free, :meth:`~repro.cluster.dns.RoundRobinDNS.pick` never
+        returns None and this adds zero kernel events.  Under fault
+        injection an all-nodes-down instant costs detection timeouts and
+        capped backoffs, and past the retry budget returns None — the
+        request then fails instead of hanging.
+        """
+        node = self.cluster.dns.pick()
+        if node is not None:
+            return node
+        fparams = self.cluster.params.faults
+        for attempt in range(fparams.max_retries):
+            yield self.sim.timeout(fparams.detect_timeout_ms)
+            delay = self._faults.backoff_ms(attempt)
+            if delay > 0.0:
+                yield self.sim.timeout(delay)
+            node = self.cluster.dns.pick()
+            if node is not None:
+                return node
+        return None
 
     def _client(self) -> Generator[Event, object, None]:
         params = self.cluster.params
@@ -144,8 +179,12 @@ class ClosedLoopDriver:
             if file_id is None:
                 return
             measured = self._warmed
-            node = self.cluster.dns.pick()
             start = self.sim.now
+            node = yield from self._pick_node()
+            if node is None:
+                # Every node stayed down past the retry budget.
+                self._record(measured, start, "failed")
+                continue
             if self._prof is None:
                 # Front-end: router forwards, request crosses the LAN.
                 yield self.cluster.router.forward()
@@ -177,19 +216,34 @@ class ClosedLoopDriver:
                     cls=service_class if isinstance(service_class, str)
                     else None,
                 )
-            if self._response_hist is not None:
-                self._response_hist.observe(self.sim.now - start)
-            if measured:
-                elapsed = self.sim.now - start
-                self.throughput.record()
-                self.response.record(elapsed)
-                self.quantiles.record(elapsed)
-                if isinstance(service_class, str):
-                    stats = self.response_by_class.get(service_class)
-                    if stats is None:
-                        stats = RunningStats()
-                        self.response_by_class[service_class] = stats
-                    stats.record(elapsed)
+            self._record(measured, start, service_class)
+
+    def _record(self, measured: bool, start: float, service_class) -> None:
+        """Fold one finished (or failed) request into the statistics.
+
+        Failed requests are counted — and their latency kept under
+        ``response_by_class["failed"]`` — but excluded from throughput
+        and the response moments: an aborted request delivered nothing,
+        so folding its (short) latency in would *flatter* the faulted
+        system.
+        """
+        if self._response_hist is not None:
+            self._response_hist.observe(self.sim.now - start)
+        if not measured:
+            return
+        elapsed = self.sim.now - start
+        if service_class == "failed":
+            self.failed_requests += 1
+        else:
+            self.throughput.record()
+            self.response.record(elapsed)
+            self.quantiles.record(elapsed)
+        if isinstance(service_class, str):
+            stats = self.response_by_class.get(service_class)
+            if stats is None:
+                stats = RunningStats()
+                self.response_by_class[service_class] = stats
+            stats.record(elapsed)
 
     # -- orchestration ----------------------------------------------------------
     def run(self) -> WorkloadResult:
@@ -221,4 +275,6 @@ class ClosedLoopDriver:
                 cls: stats.n
                 for cls, stats in self.response_by_class.items()
             },
+            failed_requests=self.failed_requests,
+            total_ms=now,
         )

@@ -29,6 +29,7 @@ from ..core.middleware import CoopCacheLayer
 from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER
 from ..sim.engine import Event
+from ..sim.faults import RequestAborted
 
 __all__ = ["CoopCacheWebServer"]
 
@@ -60,7 +61,17 @@ class CoopCacheWebServer:
         )
         yield from prof.wait(span, node.node_id, "cpu",
                              node.cpu.submit(cpu.parse_ms))
-        service_class = yield from self.layer.read(node, file_id, span=span)
+        try:
+            service_class = yield from self.layer.read(
+                node, file_id, span=span
+            )
+        except RequestAborted:
+            # Bounded retries exhausted (fault injection): the request
+            # terminates loudly as "failed" — degraded, never hung.
+            span.finish(cls="failed", error=True)
+            if self._registry is not None:
+                self._registry.counter("requests_failed").incr()
+            return "failed"
         size_kb = self.layout.size_kb(file_id)
         yield from prof.wait(span, node.node_id, "cpu",
                              node.cpu.submit(cpu.serve_ms(size_kb)))

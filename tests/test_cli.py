@@ -51,7 +51,7 @@ class TestCli:
         expected = {
             "table1", "table2",
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
-            "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9",
+            "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10",
         }
         assert set(cli.ARTIFACTS) == expected
 
@@ -124,3 +124,58 @@ class TestRunAndAnalyzeCli:
     ):
         assert cli.main(["run", "--mem-mb", "0.25"]) == 0
         assert "critical-path profile" not in capsys.readouterr().out
+
+
+class TestChaosCli:
+    @pytest.fixture()
+    def tiny_defaults(self, monkeypatch):
+        from repro.experiments import defaults
+
+        monkeypatch.setattr(defaults, "workload", lambda name: tiny_trace())
+        monkeypatch.setattr(defaults, "NUM_CLIENTS", 4)
+
+    def test_chaos_generates_runs_and_archives(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        plan_out = tmp_path / "plan.json"
+        trace = tmp_path / "chaos.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert cli.main([
+            "chaos", "--system", "cc-kmc", "--nodes", "3",
+            "--mem-mb", "0.25", "--crashes-per-node", "2",
+            "--link-drops", "1", "--disk-stalls", "1",
+            "--plan-out", str(plan_out),
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out and "fault-free" in out
+        assert plan_out.exists() and trace.exists() and metrics.exists()
+
+    def test_chaos_replays_archived_plan(self, capsys, tiny_defaults, tmp_path):
+        plan_out = tmp_path / "plan.json"
+        assert cli.main([
+            "chaos", "--system", "press", "--nodes", "3",
+            "--mem-mb", "0.25", "--plan-out", str(plan_out),
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main([
+            "chaos", "--system", "press", "--nodes", "3",
+            "--mem-mb", "0.25", "--plan", str(plan_out),
+        ]) == 0
+        assert "replaying" in capsys.readouterr().out
+
+    def test_chaos_missing_plan_file_errors(self, capsys, tiny_defaults):
+        assert cli.main([
+            "chaos", "--plan", "/nonexistent/plan.json",
+        ]) == 2
+        assert "plan" in capsys.readouterr().err.lower()
+
+    def test_chaos_profile_attributes_fault_time(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        assert cli.main([
+            "chaos", "--system", "cc-kmc", "--nodes", "3",
+            "--mem-mb", "0.25", "--crashes-per-node", "2", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path profile" in out

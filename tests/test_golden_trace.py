@@ -96,6 +96,30 @@ def test_run_twice_byte_identical():
     assert first.registry.to_json() == second.registry.to_json()
 
 
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_zero_fault_plan_reproduces_golden(system):
+    """Fault-injection neutrality: an *explicit* empty FaultPlan leaves
+    the kernel event stream — and therefore every golden fingerprint —
+    byte-for-byte unchanged.  This is the contract that lets the chaos
+    subsystem live permanently in the hot paths."""
+    from repro.sim.faults import FaultPlan
+
+    path = GOLDEN_DIR / f"{system}.json"
+    assert path.exists(), "golden files must exist before this check"
+    cfg = ExperimentConfig(
+        system=system,
+        trace=_workload(),
+        num_nodes=4,
+        mem_mb_per_node=0.5,
+        num_clients=8,
+        seed=0,
+        faults=FaultPlan.none(),
+    )
+    obs = Observability(trace=True)
+    run_experiment(cfg, obs=obs)
+    assert _serialize(_fingerprint(obs)) == path.read_text()
+
+
 def test_trace_disabled_run_matches_traced_run():
     """Tracing is pure observation: the metrics a run produces are the
     same whether or not the tracer is recording."""
