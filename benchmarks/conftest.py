@@ -2,7 +2,10 @@
 
 Every benchmark regenerates one paper table/figure (or one ablation),
 prints the same rows/series the paper reports, and archives the rendered
-output under ``benchmarks/results/`` so EXPERIMENTS.md can cite it.
+output under ``benchmarks/results/`` — plus a top-level
+``BENCH_<name>.json`` trajectory record (sorted keys, schema version,
+git sha, seed, params digest; see :mod:`repro.bench.schema`) that
+``python -m repro.bench compare`` gates against committed baselines.
 
 Workload scale is controlled by the environment (see
 ``repro.experiments.defaults``): default is SCALE=0.02 with 10k-request
@@ -14,10 +17,27 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 #: Benchmarks use a trimmed memory axis (full 8-point sweeps belong to
 #: interactive use); these are the paper's 4-512 MB endpoints + midpoints.
 BENCH_MEMORY_MB = [4, 16, 64, 256]
+
+#: Every experiment runner defaults to this seed (ExperimentConfig.seed).
+BENCH_SEED = 0
+
+
+def bench_params():
+    """The workload knobs that shaped this run — recorded in every
+    trajectory record so comparisons refuse mismatched workloads."""
+    from repro.experiments.defaults import NUM_CLIENTS, NUM_REQUESTS, SCALE
+
+    return {
+        "scale": SCALE,
+        "requests": NUM_REQUESTS,
+        "clients": NUM_CLIENTS,
+        "memory_mb": list(BENCH_MEMORY_MB),
+    }
 
 
 @pytest.fixture
@@ -29,6 +49,10 @@ def artifact(request, capsys):
         def test_bench_fig4(benchmark, artifact):
             data = benchmark.pedantic(fig4, rounds=1, iterations=1)
             artifact("fig4", render_fig4(data))
+
+    With ``data``, the JSON lands twice: wrapped in the shared artifact
+    schema under ``benchmarks/results/<name>.json`` and as the top-level
+    trajectory record ``BENCH_<name>.json``.
     """
 
     def save(name: str, text: str, data=None) -> None:
@@ -36,11 +60,13 @@ def artifact(request, capsys):
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
         if data is not None:
-            import json
+            from repro.bench.schema import dump_record, wrap_result
 
-            (RESULTS_DIR / f"{name}.json").write_text(
-                json.dumps(data, indent=2, default=float) + "\n"
+            record = wrap_result(
+                name, data, seed=BENCH_SEED, params=bench_params()
             )
+            dump_record(record, RESULTS_DIR / f"{name}.json")
+            dump_record(record, REPO_ROOT / f"BENCH_{name}.json")
         # Emit through pytest's terminal (shown with -s or on failure).
         with capsys.disabled():
             print(f"\n{text}\n[saved to {path}]")

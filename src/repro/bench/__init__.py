@@ -1,0 +1,37 @@
+"""Benchmark trajectory records and regression gating.
+
+Every ``bench_*`` result is wrapped in a shared artifact schema
+(:mod:`repro.bench.schema`): git sha, seed, a digest of the run
+parameters and a schema version, emitted as top-level ``BENCH_<name>.json``
+trajectory records.  :mod:`repro.bench.compare` diffs a run against
+committed baselines (``benchmarks/baselines/``) and exits nonzero on a
+>10% throughput regression — the CI gate.
+
+CLI::
+
+    python -m repro.bench compare BENCH_fig2.json --baselines benchmarks/baselines
+"""
+
+from .compare import CompareResult, compare_records, render_compare
+from .schema import (
+    SCHEMA_VERSION,
+    dump_record,
+    extract_throughput_metrics,
+    git_sha,
+    load_record,
+    params_digest,
+    wrap_result,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "wrap_result",
+    "dump_record",
+    "load_record",
+    "git_sha",
+    "params_digest",
+    "extract_throughput_metrics",
+    "CompareResult",
+    "compare_records",
+    "render_compare",
+]

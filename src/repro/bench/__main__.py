@@ -1,0 +1,93 @@
+"""CLI for the benchmark trajectory tools.
+
+``compare`` is the CI regression gate::
+
+    python -m repro.bench compare BENCH_fig2.json BENCH_a10_faults.json \\
+        --baselines benchmarks/baselines --threshold 0.10
+
+Each record is diffed against ``<baselines>/<filename>``; the process
+exits 1 if any metric regressed past the threshold, a baseline metric is
+missing from the run, or the params digests disagree.  Records with no
+committed baseline are reported and skipped (the first run seeds them)
+unless ``--strict`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .compare import compare_records, render_compare
+from .schema import load_record
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark trajectory records and regression gating.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_p = sub.add_parser(
+        "compare", help="diff trajectory records against baselines"
+    )
+    cmp_p.add_argument(
+        "records", nargs="+", metavar="RECORD",
+        help="BENCH_<name>.json trajectory record(s) to check",
+    )
+    cmp_p.add_argument(
+        "--baselines", default="benchmarks/baselines", metavar="DIR",
+        help="directory of committed baseline records "
+             "(default: benchmarks/baselines)",
+    )
+    cmp_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="explicit baseline file (single-record comparisons only)",
+    )
+    cmp_p.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help="regression gate as a fraction (default: 0.10 = 10%%)",
+    )
+    cmp_p.add_argument(
+        "--strict", action="store_true",
+        help="also fail when a record has no committed baseline",
+    )
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.baseline is not None and len(args.records) != 1:
+        print("--baseline requires exactly one RECORD", file=sys.stderr)
+        return 2
+    failed = False
+    for rec_path in args.records:
+        current = load_record(rec_path)
+        if args.baseline is not None:
+            base_path = Path(args.baseline)
+        else:
+            base_path = Path(args.baselines) / Path(rec_path).name
+        if not base_path.exists():
+            print(f"== {Path(rec_path).name}: no baseline at {base_path} "
+                  f"— skipped (commit one to arm the gate)")
+            if args.strict:
+                failed = True
+            continue
+        result = compare_records(
+            current, load_record(base_path), threshold=args.threshold
+        )
+        print(render_compare(result))
+        if not result.ok:
+            failed = True
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -14,7 +14,7 @@ victim (drop vs forward to a peer) is the middleware's job in
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .block import BlockId
 from .lru import AgedLRU
@@ -27,12 +27,18 @@ class CacheFullError(RuntimeError):
 
 
 class BlockCache:
-    """Fixed-capacity block store for one node."""
+    """Fixed-capacity block store for one node.
+
+    ``scope`` is an optional :class:`~repro.obs.cachestats.CacheScope`
+    notified on every insert / remove / promote — residency accounting
+    flows through these three methods and nowhere else (``clear`` is a
+    remove loop), so telemetry cannot drift from the cache contents.
+    """
 
     __slots__ = ("node_id", "capacity_blocks", "_masters", "_nonmasters",
-                 "_dirty")
+                 "_dirty", "_scope")
 
-    def __init__(self, node_id: int, capacity_blocks: int):
+    def __init__(self, node_id: int, capacity_blocks: int, scope=None):
         if capacity_blocks < 1:
             raise ValueError("capacity must be at least one block")
         self.node_id = node_id
@@ -41,6 +47,7 @@ class BlockCache:
         self._nonmasters = AgedLRU()
         # Masters holding unwritten-back modifications (write extension).
         self._dirty: set = set()
+        self._scope = scope
 
     # -- size -----------------------------------------------------------------
     def __len__(self) -> int:
@@ -139,6 +146,8 @@ class BlockCache:
                 f"node {self.node_id} cache full ({self.capacity_blocks} blocks)"
             )
         (self._masters if master else self._nonmasters).add(block, age)
+        if self._scope is not None:
+            self._scope.on_insert(self.node_id, block, master)
 
     def remove(self, block: BlockId) -> bool:
         """Remove a resident block; returns True if it was the master.
@@ -150,9 +159,13 @@ class BlockCache:
         self._dirty.discard(block)
         if block in self._masters:
             self._masters.remove(block)
-            return True
-        self._nonmasters.remove(block)
-        return False
+            was_master = True
+        else:
+            self._nonmasters.remove(block)
+            was_master = False
+        if self._scope is not None:
+            self._scope.on_remove(self.node_id, block, was_master)
+        return was_master
 
     # -- dirty tracking (write-protocol extension) ---------------------------
     def mark_dirty(self, block: BlockId) -> None:
@@ -180,11 +193,12 @@ class BlockCache:
         Returns the blocks that were resident (masters first) so the
         middleware's crash repair can account for them; dirty flags are
         discarded with the data — that *is* the data loss being modeled.
+        Routed through :meth:`remove` so all bookkeeping (dirty flags,
+        scope census) decrements through the one removal code path.
         """
         lost = tuple(self._masters) + tuple(self._nonmasters)
-        self._masters = AgedLRU()
-        self._nonmasters = AgedLRU()
-        self._dirty = set()
+        for block in lost:
+            self.remove(block)
         return lost
 
     def promote_to_master(self, block: BlockId) -> None:
@@ -196,6 +210,19 @@ class BlockCache:
         """
         age = self._nonmasters.remove(block)
         self._masters.add(block, age)
+        if self._scope is not None:
+            self._scope.on_promote(self.node_id, block)
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy snapshot, so observers never reach into private state."""
+        return {
+            "node": self.node_id,
+            "capacity_blocks": self.capacity_blocks,
+            "masters": len(self._masters),
+            "nonmasters": len(self._nonmasters),
+            "dirty": len(self._dirty),
+            "free_slots": self.free_slots,
+        }
 
     def compact(self) -> None:
         """Bound heap garbage in long runs."""

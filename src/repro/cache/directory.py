@@ -51,6 +51,14 @@ class GlobalDirectory:
         and invariant checks only)."""
         return sum(1 for holder in self._masters.values() if holder == node_id)
 
+    def census(self) -> Dict[int, int]:
+        """Recorded master count per node id (one O(n) pass; telemetry
+        snapshots and invariant checks, not the request path)."""
+        counts: Dict[int, int] = {}
+        for holder in self._masters.values():
+            counts[holder] = counts.get(holder, 0) + 1
+        return counts
+
     def purge_node(self, node_id: int) -> List[BlockId]:
         """Drop every entry pointing at ``node_id``; returns those blocks.
 

@@ -39,6 +39,7 @@ from ..cache.directory import GlobalDirectory, HomeMap
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
 from ..cluster.node import Node
+from ..obs.cachestats import NULL_CACHESCOPE
 from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..sim.engine import Event
@@ -81,10 +82,19 @@ class CoopCacheLayer:
         self.layout = layout
         self.homes = homes
         self.config = config or CoopCacheConfig()
+        #: Cache-behavior telemetry; the shared no-op scope unless the
+        #: Observability bundle enabled ``cachestats``.  Purely passive
+        #: (no sim events), so the event stream is identical either way.
+        self.scope = getattr(obs, "cachescope", None) or NULL_CACHESCOPE
+        cache_scope = self.scope if self.scope.active else None
         self.caches: List[BlockCache] = [
-            BlockCache(node.node_id, capacity_blocks) for node in cluster.nodes
+            BlockCache(node.node_id, capacity_blocks, scope=cache_scope)
+            for node in cluster.nodes
         ]
         self.directory = directory if directory is not None else GlobalDirectory()
+        if self.scope.active:
+            self.scope.bind_layout(layout)
+            self.scope.bind_directory(self.directory)
         #: Protocol event counters; block-level hits feed Figure 4.
         self.counters = CounterSet()
         #: Request tracer (no-op unless an Observability bundle is given).
@@ -268,12 +278,23 @@ class CoopCacheLayer:
         """
         cache = self.caches[node_id]
         dirty_lost = cache.num_dirty
+        if self.scope.active:
+            masters_before = set(cache.masters())
+            nm_before = cache.num_nonmasters
         lost = cache.clear()
+        if self.scope.active:
+            for blk in lost:
+                self.scope.on_evict(
+                    node_id, blk, blk in masters_before, nm_before, "crash"
+                )
         purged = self.directory.purge_node(node_id)
         reelected = 0
         for blk in purged:
             target = self._youngest_replica(blk, exclude=node_id)
             if target is None:
+                # The master died with no surviving replica: it leaves
+                # cluster memory until the next disk read re-creates it.
+                self.scope.on_master_exit(blk)
                 continue
             self.caches[target].promote_to_master(blk)
             self.directory.set_master(blk, target)
@@ -440,6 +461,11 @@ class CoopCacheLayer:
                 # request is processed (pin semantics, as on the read
                 # path) so no concurrent eviction can race the removal.
                 was_dirty = old_cache.is_dirty(blk)
+                self.scope.on_evict(
+                    holder, blk, old_cache.is_master(blk),
+                    old_cache.num_nonmasters, "ownership",
+                    dest=node.node_id,
+                )
                 old_cache.remove(blk)
                 yield old.cpu.submit(self.params.cpu.serve_peer_block_ms)
                 yield from self.cluster.network.transfer(
@@ -465,6 +491,10 @@ class CoopCacheLayer:
         if other is not None and other != node.node_id:
             other_cache = self.caches[other]
             if blk in other_cache and other_cache.is_master(blk):
+                self.scope.on_evict(
+                    other, blk, True, other_cache.num_nonmasters,
+                    "write_race",
+                )
                 other_cache.remove(blk)
                 self.counters.incr("write_race_invalidations")
         cache = self.caches[node.node_id]
@@ -476,6 +506,8 @@ class CoopCacheLayer:
                 self._evict_one(node.node_id)
             cache.insert(blk, master=True, age=self.sim.now)
         self.directory.set_master(blk, node.node_id)
+        # The writer's copy is now canonical: hop chain restarts here.
+        self.scope.on_master_reset(blk)
         if dirty:
             cache.mark_dirty(blk)
 
@@ -491,9 +523,13 @@ class CoopCacheLayer:
         peer_cache = self.caches[peer_id]
         for blk in blocks:
             if blk in peer_cache:
+                nm_held = peer_cache.num_nonmasters
+                is_m = peer_cache.is_master(blk)
+                self.scope.on_evict(peer_id, blk, is_m, nm_held, "invalidate")
                 was_master = peer_cache.remove(blk)
                 self.counters.incr("invalidations")
                 if was_master and self.directory.lookup(blk) == peer_id:
+                    self.scope.on_master_exit(blk)
                     self.directory.clear_master(blk)
 
     def _flush(
@@ -736,6 +772,9 @@ class CoopCacheLayer:
 
         if missing:
             self.counters.incr("peer_miss", len(missing))
+            # The directory's answer was one hop stale: the peer evicted
+            # (or forwarded) these blocks while our request was in flight.
+            self.scope.on_stale(len(missing))
             yield from self._reresolve(node, missing, peer_id, parent=span)
         span.finish(hits=len(present), misses=len(missing))
 
@@ -939,12 +978,15 @@ class CoopCacheLayer:
                 if as_master and not cache.is_master(blk):
                     cache.promote_to_master(blk)
                     self.directory.set_master(blk, node.node_id)
+                    self.scope.on_master_reset(blk)
                 continue
             if cache.is_full:
                 self._evict_one(node.node_id)
             cache.insert(blk, master=as_master, age=self.sim.now)
             if as_master:
                 self.directory.set_master(blk, node.node_id)
+                # Fresh master off the disk: its forward-hop chain restarts.
+                self.scope.on_master_reset(blk)
 
     def _has_other_master(self, blk: BlockId, node_id: int) -> bool:
         """True if the directory records a master at some other node."""
@@ -963,25 +1005,32 @@ class CoopCacheLayer:
             raise RuntimeError("eviction requested on empty cache")
         blk, age, is_master = victim
         was_dirty = cache.is_dirty(blk)
-        # Emitted before removal so ``nonmasters`` reflects the state the
-        # policy decided on — the CC-KMC invariant test reads exactly this.
+        # Captured before removal so it reflects the state the policy
+        # decided on — the CC-KMC invariant test (and CacheScope's
+        # violation counter) read exactly this.
+        nm_held = cache.num_nonmasters
         self.tracer.point(
             "evict", node=node_id, master=is_master,
-            nonmasters=cache.num_nonmasters, policy=self.config.policy,
+            nonmasters=nm_held, policy=self.config.policy,
         )
         cache.remove(blk)
         self.counters.incr("evictions")
         if not is_master:
             self.counters.incr("evict_drop_nonmaster")
+            self.scope.on_evict(node_id, blk, False, nm_held, "drop")
             return
         if not self.config.forward_on_evict:
+            self.scope.on_evict(node_id, blk, True, nm_held, "drop")
             self._drop_master(node_id, blk, was_dirty)
             return
         target = self._oldest_peer(node_id, age)
         if target is None:
             # Globally oldest: drop, master leaves cluster memory.
+            self.scope.on_evict(node_id, blk, True, nm_held, "drop")
             self._drop_master(node_id, blk, was_dirty)
             return
+        self.scope.on_evict(node_id, blk, True, nm_held, "forward",
+                            dest=target)
         # Optimistic instantaneous directory: point at the destination
         # as soon as the block is in flight.
         self.directory.set_master(blk, target)
@@ -993,6 +1042,7 @@ class CoopCacheLayer:
     def _drop_master(self, node_id: int, blk: BlockId, dirty: bool) -> None:
         """A master leaves cluster memory; flush it first if dirty."""
         self.counters.incr("evict_drop_master")
+        self.scope.on_master_exit(blk)
         self.directory.clear_master(blk)
         if dirty:
             self.sim.process(self._writeback_evicted(node_id, [blk]))
@@ -1072,6 +1122,7 @@ class CoopCacheLayer:
             # re-mastered block was re-read from disk, so a stale dirty
             # copy would carry *newer* data: flush it.
             self.counters.incr("forward_stale")
+            self.scope.on_forward(blk, "stale")
             span.finish(outcome="stale")
             if dirty:
                 self.sim.process(self._writeback_evicted(dst_id, [blk]))
@@ -1084,11 +1135,13 @@ class CoopCacheLayer:
             if dirty:
                 cache.mark_dirty(blk)
             self.counters.incr("forward_merged")
+            self.scope.on_forward(blk, "merged")
             span.finish(outcome="merged")
             return
         if cache.oldest_age() >= age:
             # Everything here is younger: the forwarded block is dropped.
             self.counters.incr("forward_dropped")
+            self.scope.on_forward(blk, "dropped")
             span.finish(outcome="dropped")
             if self.directory.lookup(blk) == dst_id:
                 self.directory.clear_master(blk)
@@ -1098,9 +1151,14 @@ class CoopCacheLayer:
         if cache.is_full:
             old_blk, _old_age, was_master = cache.oldest()  # type: ignore[misc]
             displaced_dirty = cache.is_dirty(old_blk)
+            self.scope.on_evict(
+                dst_id, old_blk, was_master, cache.num_nonmasters,
+                "displaced",
+            )
             cache.remove(old_blk)
             self.counters.incr("forward_displaced")
             if was_master and self.directory.lookup(old_blk) == dst_id:
+                self.scope.on_master_exit(old_blk)
                 self.directory.clear_master(old_blk)
             if displaced_dirty:
                 self.sim.process(self._writeback_evicted(dst_id, [old_blk]))
@@ -1109,6 +1167,7 @@ class CoopCacheLayer:
         if dirty:
             cache.mark_dirty(blk)
         self.counters.incr("forward_installed")
+        self.scope.on_forward(blk, "installed")
         span.finish(outcome="installed")
 
     # ------------------------------------------------------------------

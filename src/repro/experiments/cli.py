@@ -25,6 +25,14 @@ Usage::
     python -m repro.experiments.cli analyze trace.jsonl metrics.json \\
         --report --perfetto perfetto.json --timeseries --top 10
 
+    # Cache-behavior telemetry (CacheScope): record during a run, then
+    # render tables/sparklines offline; --json emits the attribution
+    # summary machine-readably.
+    python -m repro.experiments.cli run --system cc-basic \\
+        --cachestats cachescope.jsonl
+    python -m repro.experiments.cli analyze --cache cachescope.jsonl
+    python -m repro.experiments.cli analyze trace.jsonl metrics.json --json -
+
 Pass ``-v`` / ``--verbose`` (repeatable) anywhere for INFO/DEBUG
 logging.  Workload scale is controlled by the usual environment knobs
 (``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
@@ -117,6 +125,10 @@ def _run_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="wrap every blocking wait in a phase span and "
                         "print the critical-path bottleneck report")
+    p.add_argument("--cachestats", metavar="FILE", default=None,
+                   help="record cache-behavior telemetry (duplicate share, "
+                        "eviction provenance, forwarding hops) and dump it "
+                        "as JSONL to FILE; render with `analyze --cache`")
     return p
 
 
@@ -141,6 +153,7 @@ def run_command(argv) -> int:
         trace=opts.trace is not None,
         invariant_every=opts.invariant_every,
         profile=opts.profile,
+        cachestats=opts.cachestats is not None,
     )
     result = run_experiment(cfg, obs=obs)
 
@@ -165,6 +178,19 @@ def run_command(argv) -> int:
     if opts.metrics_out:
         obs.registry.dump(opts.metrics_out)
         print(f"metrics           -> {opts.metrics_out}")
+    if opts.cachestats:
+        scope = obs.cachescope
+        scope.dump_jsonl(opts.cachestats)
+        snap_totals = scope.snapshot()["totals"]
+        print(f"cachestats        -> {opts.cachestats}")
+        print(f"  duplicate share {snap_totals['duplicate_share']:.4f} "
+              f"({snap_totals['duplicate_kb']:.0f} of "
+              f"{snap_totals['resident_kb']:.0f} KB resident)")
+        print(f"  evictions       master={snap_totals['master_evictions']} "
+              f"nonmaster={snap_totals['nonmaster_evictions']} "
+              f"violations={snap_totals['violations']}")
+        print(f"  forwards        {snap_totals['forwards']} "
+              f"stale lookups {snap_totals['stale_lookups']}")
     if opts.profile:
         from ..obs.analyze import attribute
         from ..obs.reports import render_profile_report
@@ -320,14 +346,21 @@ def _analyze_parser() -> argparse.ArgumentParser:
         description="Offline analysis of a dumped run "
                     "(trace JSONL from `run --profile --trace`).",
     )
-    p.add_argument("trace", metavar="TRACE",
-                   help="span trace JSONL (from run --trace)")
+    p.add_argument("trace", metavar="TRACE", nargs="?", default=None,
+                   help="span trace JSONL (from run --trace); optional "
+                        "when only --cache output is requested")
     p.add_argument("metrics", metavar="METRICS", nargs="?", default=None,
                    help="metrics snapshot JSON (from run --metrics-out); "
                         "enables utilization-based bottleneck analysis")
     p.add_argument("--report", action="store_true",
                    help="print the critical-path attribution / bottleneck "
                         "report (default when no other output is requested)")
+    p.add_argument("--json", metavar="FILE", default=None, dest="json_out",
+                   help="write the attribution/bottleneck summary as JSON "
+                        "to FILE ('-' for stdout) for CI consumption")
+    p.add_argument("--cache", metavar="FILE", default=None,
+                   help="render the cache-behavior report from a CacheScope "
+                        "JSONL dump (run --cachestats)")
     p.add_argument("--perfetto", metavar="FILE", default=None,
                    help="write a Chrome trace-event JSON (Perfetto / "
                         "chrome://tracing) to FILE")
@@ -349,8 +382,12 @@ def analyze_command(argv) -> int:
     from ..obs.analyze import attribute, load_jsonl
 
     opts = _analyze_parser().parse_args(argv)
+    if opts.trace is None and not opts.cache:
+        print("analyze: a TRACE file is required unless --cache is given",
+              file=sys.stderr)
+        return 2
     try:
-        records = load_jsonl(opts.trace)
+        records = load_jsonl(opts.trace) if opts.trace else []
         metrics = None
         if opts.metrics:
             with open(opts.metrics, "r", encoding="utf-8") as fp:
@@ -358,11 +395,40 @@ def analyze_command(argv) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"analyze: cannot read input: {exc}", file=sys.stderr)
         return 2
+
+    if opts.cache:
+        from ..obs.cachestats import load_jsonl as load_cache_jsonl
+        from ..obs.reports import render_cache_report
+
+        try:
+            snap = load_cache_jsonl(opts.cache)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"analyze: cannot read cache dump: {exc}", file=sys.stderr)
+            return 2
+        print(banner(f"cache behavior: {opts.cache}"))
+        print(render_cache_report(snap))
+    if opts.trace is None:
+        return 0
+
     measured_only = not opts.all_requests
     want_report = opts.report or not (
         opts.perfetto or opts.timeseries or opts.timeseries_out or opts.top
+        or opts.json_out or opts.cache
     )
 
+    if opts.json_out:
+        from ..obs.analyze import attribution_to_dict
+
+        summary = attribution_to_dict(
+            attribute(records, measured_only=measured_only), metrics=metrics
+        )
+        text = json.dumps(summary, indent=2, sort_keys=True, default=float)
+        if opts.json_out == "-":
+            print(text)
+        else:
+            with open(opts.json_out, "w", encoding="utf-8") as fp:
+                fp.write(text + "\n")
+            print(f"attribution json  -> {opts.json_out}")
     if want_report:
         from ..obs.reports import render_profile_report
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .cachestats import NULL_CACHESCOPE, CacheScope, NullCacheScope
 from .invariants import InvariantSampler
 from .metrics import (
     DEFAULT_BUCKETS_MS,
@@ -45,6 +46,9 @@ __all__ = [
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",
+    "CacheScope",
+    "NullCacheScope",
+    "NULL_CACHESCOPE",
     "InvariantSampler",
     "Observability",
 ]
@@ -60,7 +64,11 @@ class Observability:
     :class:`InvariantSampler` over the middleware's ``check_invariants``.
     ``profile=True`` additionally records critical-path phase spans on
     every blocking wait (implies tracing); feed the resulting trace to
-    :mod:`repro.obs.analyze`.
+    :mod:`repro.obs.analyze`.  ``cachestats=True`` attaches a
+    :class:`~repro.obs.cachestats.CacheScope` recording cache-behavior
+    telemetry (duplicate share, eviction provenance, forwarding hops);
+    it is passive — no simulator events — so traces are byte-identical
+    with it on or off.
     """
 
     def __init__(
@@ -69,12 +77,18 @@ class Observability:
         invariant_every: int = 0,
         registry: Optional[MetricsRegistry] = None,
         profile: bool = False,
+        cachestats: bool = False,
+        cachestats_window_ms: float = 100.0,
     ):
         if invariant_every < 0:
             raise ValueError("invariant_every must be >= 0")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer() if (trace or profile) else NULL_TRACER
         self.profiler = Profiler(self.tracer) if profile else NULL_PROFILER
+        self.cachescope = (
+            CacheScope(window_ms=cachestats_window_ms)
+            if cachestats else NULL_CACHESCOPE
+        )
         self.invariant_every = invariant_every
         #: Set by the runner when sampling is active (for introspection).
         self.sampler: Optional[InvariantSampler] = None
@@ -82,3 +96,4 @@ class Observability:
     def attach(self, sim) -> None:
         """Bind time-dependent pieces to a simulator's clock."""
         self.tracer.attach(sim)
+        self.cachescope.attach(sim)

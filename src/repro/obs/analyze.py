@@ -42,6 +42,7 @@ __all__ = [
     "Attribution",
     "attribute",
     "binding_resource",
+    "attribution_to_dict",
 ]
 
 logger = logging.getLogger(__name__)
@@ -446,3 +447,33 @@ def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
         "max_node": info["max_node"],
         "per_resource": per_resource,
     }
+
+
+def attribution_to_dict(
+    attr: Attribution, metrics: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Machine-readable attribution/bottleneck summary (``analyze --json``).
+
+    The same quantities :func:`repro.obs.reports.render_profile_report`
+    prints, as one JSON-ready dict CI and ``repro.bench.compare`` can
+    consume without scraping tables.
+    """
+    out: Dict[str, Any] = {
+        "schema_version": 1,
+        "requests": attr.count,
+        "mean_response_ms": attr.mean_response_ms,
+        "mean_residual_ms": attr.mean_residual_ms,
+        "phase_means_ms": dict(sorted(attr.phase_means().items())),
+        "by_class": {
+            cls: {
+                "requests": sub.count,
+                "mean_response_ms": sub.mean_response_ms,
+                "phase_means_ms": dict(sorted(sub.phase_means().items())),
+            }
+            for cls, sub in attr.by_class().items()
+        },
+    }
+    out["binding_resource"] = (
+        binding_resource(metrics) if metrics is not None else None
+    )
+    return out

@@ -32,6 +32,7 @@ __all__ = [
     "render_profile_report",
     "render_top_requests",
     "render_timeseries",
+    "render_cache_report",
     "format_span_tree",
 ]
 
@@ -235,4 +236,124 @@ def render_timeseries(ts: Dict[str, Any]) -> str:
         warm_flags = "".join("W" if w["warm"] else "-" for w in windows)
         parts.append(f"  warm |{warm_flags}| "
                      f"(measurement starts at {ts['warm_start_ms']:.1f} ms)")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# cache-behavior report (CacheScope)
+# ---------------------------------------------------------------------------
+def render_cache_report(snap: Dict[str, Any], ledger_tail: int = 10) -> str:
+    """Tables + sparklines for a CacheScope snapshot.
+
+    ``snap`` is :meth:`~repro.obs.cachestats.CacheScope.snapshot` (or a
+    dump re-assembled by :func:`repro.obs.cachestats.load_jsonl`).  The
+    headline numbers are the paper's mechanism: how much aggregate
+    memory duplicates waste, and whether the policy sacrificed masters
+    while replicas were still around to evict instead.
+    """
+    totals = snap.get("totals", {})
+    parts: List[str] = []
+
+    summary_rows = [
+        ("resident copies", totals.get("resident_copies", 0)),
+        ("resident KB", totals.get("resident_kb", 0.0)),
+        ("distinct blocks", totals.get("distinct_blocks", 0)),
+        ("duplicate copies", totals.get("duplicate_copies", 0)),
+        ("duplicate KB", totals.get("duplicate_kb", 0.0)),
+        ("duplicate share", totals.get("duplicate_share", 0.0)),
+        ("master evictions", totals.get("master_evictions", 0)),
+        ("non-master evictions", totals.get("nonmaster_evictions", 0)),
+        ("master-evicted-while-replica-held",
+         totals.get("violations", 0)),
+        ("one-hop-stale lookups", totals.get("stale_lookups", 0)),
+        ("master forwards", totals.get("forwards", 0)),
+    ]
+    if "directory_entries" in totals:
+        summary_rows.append(
+            ("directory entries", totals["directory_entries"])
+        )
+    parts.append(format_table(
+        ["quantity", "value"], summary_rows,
+        title="cache behavior (end of run)", ndigits=4,
+    ))
+
+    by_reason = totals.get("evictions_by_reason", {})
+    if by_reason:
+        parts.append("")
+        parts.append(format_table(
+            ["reason", "count"], sorted(by_reason.items()),
+            title="evictions by reason",
+        ))
+    outcomes = totals.get("forward_outcomes", {})
+    if outcomes:
+        parts.append("")
+        parts.append(format_table(
+            ["outcome", "count"], sorted(outcomes.items()),
+            title="forward outcomes",
+        ))
+
+    per_node = snap.get("per_node", {})
+    if per_node:
+        dir_census = totals.get("directory_masters_per_node", {})
+        rows = [
+            (node, row.get("masters", 0), row.get("nonmasters", 0),
+             row.get("kb", 0.0),
+             dir_census.get(str(node)) if dir_census else None)
+            for node, row in sorted(
+                per_node.items(), key=lambda kv: int(kv[0])
+            )
+        ]
+        parts.append("")
+        parts.append(format_table(
+            ["node", "masters", "non-masters", "KB", "dir masters"],
+            rows, title="per-node replica census", ndigits=1,
+        ))
+
+    hop_hist = snap.get("hop_histogram", {})
+    if hop_hist:
+        rows = sorted(hop_hist.items(), key=lambda kv: int(kv[0]))
+        parts.append("")
+        parts.append(format_table(
+            ["hops", "forward arrivals"], rows,
+            title="forwarding-hop histogram "
+                  "(per-master chain length at each arrival)",
+        ))
+
+    windows = snap.get("windows", [])
+    if windows:
+        parts.append("")
+        parts.append(
+            f"per-window series ({snap.get('window_ms', 0.0):.1f} ms "
+            f"windows, {len(windows)} windows):"
+        )
+        dup = [w.get("duplicate_share", 0.0) for w in windows]
+        parts.append(f"  dup share |{sparkline(dup, hi=1.0)}| "
+                     f"peak {max(dup):.3f}")
+        for key, label in (
+            ("master_evictions", "master ev"),
+            ("nonmaster_evictions", "nonmst ev"),
+            ("violations", "violations"),
+            ("forwards", "forwards"),
+        ):
+            vals = [w.get(key, 0.0) for w in windows]
+            parts.append(f"  {label:<10}|{sparkline(vals)}| "
+                         f"peak {max(vals):.0f}")
+
+    ledger = snap.get("ledger", [])
+    if ledger:
+        tail = ledger[-ledger_tail:]
+        parts.append("")
+        parts.append(
+            f"eviction ledger (last {len(tail)} of {len(ledger)} kept):"
+        )
+        for entry in tail:
+            dest = (f" -> node {entry['dest']}"
+                    if entry.get("dest") is not None else "")
+            kind = "master" if entry.get("master") else "replica"
+            parts.append(
+                f"  t={entry.get('t_ms', 0.0):9.3f} node "
+                f"{entry.get('node', '?')} {entry.get('reason', '?'):<10} "
+                f"{kind:<7} {entry.get('key', '?')}{dest} "
+                f"(replicas held: {entry.get('nonmasters_held', 0)})"
+            )
     return "\n".join(parts)

@@ -55,11 +55,18 @@ class ReplicaDirectory:
 
 
 class FileCache:
-    """One node's whole-file LRU cache with de-replication preference."""
+    """One node's whole-file LRU cache with de-replication preference.
 
-    __slots__ = ("node_id", "capacity_kb", "used_kb", "_lru", "directory")
+    ``scope`` is an optional :class:`~repro.obs.cachestats.CacheScope`;
+    every residency change flows through :meth:`insert` / :meth:`_drop`
+    (``drop`` and ``clear`` are wrappers), so the census cannot drift.
+    """
 
-    def __init__(self, node_id: int, capacity_kb: float, directory: ReplicaDirectory):
+    __slots__ = ("node_id", "capacity_kb", "used_kb", "_lru", "directory",
+                 "_scope")
+
+    def __init__(self, node_id: int, capacity_kb: float,
+                 directory: ReplicaDirectory, scope=None):
         if capacity_kb <= 0:
             raise ValueError("capacity must be positive")
         self.node_id = node_id
@@ -68,6 +75,7 @@ class FileCache:
         # file_id -> size_kb; insertion order == LRU order (oldest first).
         self._lru: "OrderedDict[int, float]" = OrderedDict()
         self.directory = directory
+        self._scope = scope
 
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._lru
@@ -109,6 +117,10 @@ class FileCache:
         self._lru[file_id] = size_kb
         self.used_kb += size_kb
         self.directory.add(file_id, self.node_id)
+        if self._scope is not None:
+            # Whole-file caches have no master concept: every copy is a
+            # plain replica in the census.
+            self._scope.on_insert(self.node_id, file_id, False, kb=size_kb)
         return evicted
 
     def _select_victim(self) -> int:
@@ -132,6 +144,8 @@ class FileCache:
         size = self._lru.pop(file_id)
         self.used_kb -= size
         self.directory.remove(file_id, self.node_id)
+        if self._scope is not None:
+            self._scope.on_remove(self.node_id, file_id, False, kb=size)
 
     def drop(self, file_id: int) -> None:
         """Explicitly remove a resident file (de-replication by command)."""

@@ -74,8 +74,14 @@ class PressServer:
         self.params: SimParams = cluster.params
         self.layout = layout
         self.directory = ReplicaDirectory()
+        #: Cache-behavior telemetry (no-op scope unless cachestats is on).
+        from ..obs.cachestats import NULL_CACHESCOPE
+
+        self.scope = getattr(obs, "cachescope", None) or NULL_CACHESCOPE
+        cache_scope = self.scope if self.scope.active else None
         self.caches: List[FileCache] = [
-            FileCache(node.node_id, capacity_kb, self.directory)
+            FileCache(node.node_id, capacity_kb, self.directory,
+                      scope=cache_scope)
             for node in cluster.nodes
         ]
         self.replicate_threshold = replicate_threshold
@@ -372,6 +378,8 @@ class PressServer:
             self.counters.incr("uncacheable")
             return
         evicted = cache.insert(file_id, size_kb)
+        for victim in evicted:
+            self.scope.on_evict(node_id, victim, False, 0, "drop")
         self.counters.incr("evictions", len(evicted))
 
     # ------------------------------------------------------------------
@@ -432,7 +440,11 @@ class PressServer:
         instant it dies; files whose only copy lived there are re-read
         from any surviving disk on the next request.
         """
-        lost = self.caches[node_id].clear()
+        cache = self.caches[node_id]
+        if self.scope.active:
+            for file_id in cache.lru_order():
+                self.scope.on_evict(node_id, file_id, False, 0, "crash")
+        lost = cache.clear()
         self.faults.counters.incr("press_files_lost", lost)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,211 @@
+"""Tests for the benchmark trajectory schema and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    compare_records,
+    dump_record,
+    extract_throughput_metrics,
+    load_record,
+    params_digest,
+    render_compare,
+    wrap_result,
+)
+from repro.bench.__main__ import main as bench_main
+
+
+def make_record(metrics, params=None, name="fig2"):
+    rec = wrap_result(name, {"raw": True}, seed=0,
+                      params=params or {"scale": 0.02})
+    rec["metrics"] = dict(metrics)
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+class TestSchema:
+    def test_wrap_result_carries_provenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_SHA", "cafebabe")
+        rec = wrap_result("fig2", {"x": 1}, seed=7,
+                          params={"scale": 0.02, "requests": 800})
+        assert rec["schema_version"] == SCHEMA_VERSION
+        assert rec["name"] == "fig2"
+        assert rec["git_sha"] == "cafebabe"
+        assert rec["seed"] == 7
+        assert rec["params_digest"] == params_digest(rec["params"])
+        assert len(rec["params_digest"]) == 16
+
+    def test_params_digest_is_order_independent(self):
+        assert params_digest({"a": 1, "b": 2}) \
+            == params_digest({"b": 2, "a": 1})
+        assert params_digest({"a": 1}) != params_digest({"a": 2})
+
+    def test_extract_fig2_shape(self):
+        data = {
+            "rutgers": {
+                "memory_mb": [4, 16],
+                "throughput_rps": {"cc-kmc": [100.0, 300.0],
+                                   "press": [90.0, 250.0]},
+            },
+        }
+        metrics = extract_throughput_metrics(data)
+        assert metrics == {
+            "rutgers.throughput_rps.cc-kmc": 200.0,
+            "rutgers.throughput_rps.press": 170.0,
+        }
+
+    def test_extract_a10_shape_uses_self_describing_labels(self):
+        data = {"systems": [
+            {"system": "cc-kmc",
+             "points": [{"name": "faultfree", "throughput_rps": 500.0},
+                        {"name": "crashy", "throughput_rps": 400.0}]},
+        ]}
+        metrics = extract_throughput_metrics(data)
+        assert metrics == {
+            "systems.cc-kmc.points.faultfree.throughput_rps": 500.0,
+            "systems.cc-kmc.points.crashy.throughput_rps": 400.0,
+        }
+
+    def test_dump_load_round_trip_sorted(self, tmp_path):
+        rec = make_record({"m": 1.0})
+        path = tmp_path / "BENCH_fig2.json"
+        dump_record(rec, path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == load_record(path)
+        # sorted keys: "data" before "git_sha" before "metrics"
+        assert text.index('"data"') < text.index('"git_sha"') \
+            < text.index('"metrics"')
+
+
+# ---------------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------------
+class TestCompare:
+    def test_clean_pass(self):
+        base = make_record({"a": 100.0, "b": 50.0})
+        cur = make_record({"a": 99.0, "b": 51.0})
+        result = compare_records(cur, base)
+        assert result.ok
+        assert result.compared == 2
+        assert "ok — no metric regressed" in render_compare(result)
+
+    def test_exactly_ten_percent_drop_fails(self):
+        """The acceptance bar: a synthetic 10% regression exits nonzero —
+        the boundary is inclusive."""
+        base = make_record({"a": 100.0})
+        cur = make_record({"a": 90.0})
+        result = compare_records(cur, base, threshold=0.10)
+        assert not result.ok
+        assert result.regressions[0]["metric"] == "a"
+        assert "REGRESSION" in render_compare(result)
+
+    def test_improvement_never_fails(self):
+        base = make_record({"a": 100.0})
+        cur = make_record({"a": 140.0})
+        result = compare_records(cur, base)
+        assert result.ok
+        assert result.improvements
+
+    def test_missing_metric_fails(self):
+        base = make_record({"a": 100.0, "gone": 10.0})
+        cur = make_record({"a": 100.0})
+        result = compare_records(cur, base)
+        assert not result.ok
+        assert result.missing == ["gone"]
+        assert "MISSING gone" in render_compare(result)
+
+    def test_params_digest_mismatch_fails(self):
+        base = make_record({"a": 100.0}, params={"scale": 0.02})
+        cur = make_record({"a": 100.0}, params={"scale": 0.05})
+        result = compare_records(cur, base)
+        assert not result.ok and result.params_mismatch
+        assert "params digest mismatch" in render_compare(result)
+
+    def test_zero_baseline_metric_is_skipped(self):
+        base = make_record({"a": 0.0})
+        cur = make_record({"a": 0.0})
+        result = compare_records(cur, base)
+        assert result.ok and result.compared == 0
+
+    def test_threshold_validation(self):
+        base = make_record({"a": 1.0})
+        with pytest.raises(ValueError):
+            compare_records(base, base, threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_records(base, base, threshold=1.0)
+
+
+# ---------------------------------------------------------------------------
+# CLI gate
+# ---------------------------------------------------------------------------
+class TestCliGate:
+    def _write(self, tmp_path, name, metrics, params=None):
+        path = tmp_path / name
+        dump_record(make_record(metrics, params=params), path)
+        return path
+
+    def test_synthetic_regression_exits_nonzero(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_fig2.json", {"a": 100.0})
+        rec = self._write(tmp_path, "BENCH_fig2.json", {"a": 89.0})
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(baselines),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_fig2.json", {"a": 100.0})
+        rec = self._write(tmp_path, "BENCH_fig2.json", {"a": 95.0})
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(baselines),
+        ]) == 0
+
+    def test_missing_baseline_skips_unless_strict(self, tmp_path, capsys):
+        rec = self._write(tmp_path, "BENCH_new.json", {"a": 1.0})
+        empty = tmp_path / "baselines"
+        empty.mkdir()
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(empty),
+        ]) == 0
+        assert "no baseline" in capsys.readouterr().out
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(empty), "--strict",
+        ]) == 1
+
+    def test_explicit_baseline_file(self, tmp_path):
+        base = self._write(tmp_path, "base.json", {"a": 100.0})
+        rec = self._write(tmp_path, "cur.json", {"a": 50.0})
+        assert bench_main([
+            "compare", str(rec), "--baseline", str(base),
+        ]) == 1
+
+    def test_explicit_baseline_rejects_multiple_records(
+        self, tmp_path, capsys
+    ):
+        base = self._write(tmp_path, "base.json", {"a": 1.0})
+        rec = self._write(tmp_path, "cur.json", {"a": 1.0})
+        assert bench_main([
+            "compare", str(rec), str(rec), "--baseline", str(base),
+        ]) == 2
+
+    def test_custom_threshold(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_x.json", {"a": 100.0})
+        rec = self._write(tmp_path, "BENCH_x.json", {"a": 94.0})
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(baselines),
+            "--threshold", "0.05",
+        ]) == 1
+        assert bench_main([
+            "compare", str(rec), "--baselines", str(baselines),
+            "--threshold", "0.10",
+        ]) == 0

@@ -102,6 +102,42 @@ class TestBlockCache:
         with pytest.raises(ValueError):
             BlockCache(0, 0)
 
+    def test_stats_snapshot(self):
+        c = BlockCache(3, 4)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        c.mark_dirty(b(1))
+        assert c.stats() == {
+            "node": 3, "capacity_blocks": 4, "masters": 1,
+            "nonmasters": 1, "dirty": 1, "free_slots": 2,
+        }
+
+    def test_clear_routes_through_remove(self):
+        """clear() must decrement every counter through the single remove
+        code path — an attached scope sees each block leave."""
+
+        class Recorder:
+            def __init__(self):
+                self.removed = []
+
+            def on_insert(self, node_id, key, master, kb=None):
+                pass
+
+            def on_remove(self, node_id, key, master, kb=None):
+                self.removed.append((key, master))
+
+        rec = Recorder()
+        c = BlockCache(0, 4, scope=rec)
+        c.insert(b(1), master=True, age=1.0)
+        c.insert(b(2), master=False, age=2.0)
+        c.mark_dirty(b(1))
+        lost = c.clear()
+        assert set(lost) == {b(1), b(2)}
+        assert lost[0] == b(1)  # masters first
+        assert set(rec.removed) == {(b(1), True), (b(2), False)}
+        assert len(c) == 0 and c.num_dirty == 0
+        assert c.stats()["free_slots"] == 4
+
     @given(
         st.lists(
             st.tuples(
@@ -164,6 +200,16 @@ class TestGlobalDirectory:
         d.set_master(b(2), 0)
         d.set_master(b(3), 1)
         assert d.masters_at(0) == 2 and d.masters_at(1) == 1
+
+    def test_census(self):
+        d = GlobalDirectory()
+        assert d.census() == {}
+        d.set_master(b(1), 0)
+        d.set_master(b(2), 0)
+        d.set_master(b(3), 1)
+        assert d.census() == {0: 2, 1: 1}
+        d.clear_master(b(2))
+        assert d.census() == {0: 1, 1: 1}
 
 
 class TestHomeMap:

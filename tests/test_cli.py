@@ -115,6 +115,76 @@ class TestRunAndAnalyzeCli:
         assert "critical-path attribution" in out
         assert "dominant phase group" in out  # no metrics file given
 
+    def test_run_cachestats_dumps_and_summarizes(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        dump = tmp_path / "cachescope.jsonl"
+        assert cli.main([
+            "run", "--mem-mb", "0.25", "--cachestats", str(dump),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "duplicate share" in out and "violations=" in out
+        assert dump.exists()
+        import json
+
+        first = json.loads(dump.read_text().splitlines()[0])
+        assert first["kind"] == "summary"
+        assert "violations" in first["totals"]
+
+    def test_analyze_cache_renders_report(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        dump = tmp_path / "cachescope.jsonl"
+        assert cli.main([
+            "run", "--mem-mb", "0.25", "--cachestats", str(dump),
+        ]) == 0
+        capsys.readouterr()
+        # --cache works without a TRACE argument.
+        assert cli.main(["analyze", "--cache", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "cache behavior (end of run)" in out
+        assert "master-evicted-while-replica-held" in out
+
+    def test_analyze_requires_trace_or_cache(self, capsys):
+        assert cli.main(["analyze"]) == 2
+        assert "TRACE" in capsys.readouterr().err
+
+    def test_analyze_cache_missing_file_errors(self, capsys):
+        assert cli.main(["analyze", "--cache", "/nonexistent.jsonl"]) == 2
+        assert "cannot read cache dump" in capsys.readouterr().err
+
+    def test_analyze_json_stdout_and_file(
+        self, capsys, tiny_defaults, tmp_path
+    ):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert cli.main([
+            "run", "--mem-mb", "0.25",
+            "--trace", str(trace), "--metrics-out", str(metrics),
+        ]) == 0
+        capsys.readouterr()
+
+        assert cli.main([
+            "analyze", str(trace), str(metrics), "--json", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["schema_version"] == 1
+        assert doc["requests"] > 0
+        assert "phase_means_ms" in doc and "by_class" in doc
+        assert doc["binding_resource"] is not None
+        # --json alone suppresses the default text report.
+        assert "critical-path attribution" not in out
+
+        json_out = tmp_path / "attr.json"
+        assert cli.main([
+            "analyze", str(trace), "--json", str(json_out),
+        ]) == 0
+        doc = json.loads(json_out.read_text())
+        assert doc["binding_resource"] is None  # no metrics file given
+
     def test_verbose_flag_stripped(self, capsys):
         assert cli.main(["-v", "list"]) == 0
         assert "artifacts:" in capsys.readouterr().out

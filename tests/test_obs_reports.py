@@ -1,0 +1,130 @@
+"""Edge-case tests for the text report renderers.
+
+``render_timeseries`` / ``sparkline`` get the degenerate inputs a real
+run can hand them — an empty trace, a single window, a series that never
+leaves zero — plus the cache report over minimal and full snapshots.
+"""
+
+from repro.experiments.charts import sparkline
+from repro.obs.reports import render_cache_report, render_timeseries
+from repro.obs.timeseries import build_timeseries
+
+
+def _window(t_ms=0.0, rps=0.0, util=0.0, depth=0.0, warm=True):
+    return {
+        "t_ms": t_ms,
+        "throughput_rps": rps,
+        "by_class": {},
+        "utilization": {r: util for r in ("cpu", "nic", "bus", "disk")},
+        "queue_depth": {r: depth for r in ("cpu", "nic", "bus", "disk")},
+        "warm": warm,
+    }
+
+
+class TestSparkline:
+    def test_empty_series_renders_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero_series_renders_blanks(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "   "
+
+    def test_single_value(self):
+        out = sparkline([5.0])
+        assert len(out) == 1 and out != " "
+
+    def test_tiny_positive_values_are_visible(self):
+        # A nonzero value must never be painted as blank.
+        out = sparkline([0.001, 1000.0])
+        assert out[0] != " "
+
+    def test_hi_fixes_the_scale(self):
+        # At hi=1.0 a 0.5 sits mid-scale instead of topping out.
+        assert sparkline([0.5], hi=1.0) != sparkline([0.5])
+
+    def test_negative_hi_degrades_to_blanks(self):
+        assert sparkline([1.0, 2.0], hi=0.0) == "  "
+
+
+class TestRenderTimeseries:
+    def test_empty_trace(self):
+        ts = build_timeseries([])
+        assert render_timeseries(ts) == "no windows (empty trace)"
+
+    def test_single_window(self):
+        ts = {"window_ms": 10.0, "warm_start_ms": None,
+              "windows": [_window(rps=100.0, util=0.5, depth=1.0)]}
+        out = render_timeseries(ts)
+        assert "throughput per 10.0 ms window" in out
+        assert "peak 0.500" in out
+
+    def test_all_zero_series(self):
+        ts = {"window_ms": 10.0, "warm_start_ms": None,
+              "windows": [_window(t_ms=i * 10.0) for i in range(3)]}
+        out = render_timeseries(ts)
+        assert "peak 0.000" in out  # utilization never moved
+
+    def test_warm_flags_rendered_when_warm_start_known(self):
+        ts = {"window_ms": 10.0, "warm_start_ms": 10.0,
+              "windows": [_window(warm=False), _window(t_ms=10.0)]}
+        out = render_timeseries(ts)
+        assert "-W" in out and "measurement starts at 10.0 ms" in out
+
+
+class TestRenderCacheReport:
+    def test_empty_snapshot_renders_summary_only(self):
+        out = render_cache_report({"totals": {}, "per_node": {},
+                                   "hop_histogram": {}, "windows": [],
+                                   "ledger": []})
+        assert "cache behavior (end of run)" in out
+        assert "evictions by reason" not in out
+        assert "eviction ledger" not in out
+
+    def test_full_snapshot_sections(self):
+        snap = {
+            "window_ms": 100.0,
+            "totals": {
+                "resident_copies": 2, "resident_kb": 8.0,
+                "distinct_blocks": 1, "duplicate_copies": 1,
+                "duplicate_kb": 4.0, "duplicate_share": 0.5,
+                "master_evictions": 3, "nonmaster_evictions": 4,
+                "violations": 2, "stale_lookups": 1, "forwards": 5,
+                "forward_outcomes": {"installed": 5},
+                "evictions_by_reason": {"drop": 7},
+                "directory_entries": 1,
+                "directory_masters_per_node": {"0": 1},
+            },
+            "per_node": {"0": {"masters": 1, "nonmasters": 1, "kb": 8.0}},
+            "hop_histogram": {"1": 5},
+            "windows": [
+                {"t_ms": 0.0, "duplicate_share": 0.5,
+                 "resident_kb_mean": 8.0, "master_evictions": 3.0,
+                 "nonmaster_evictions": 4.0, "violations": 2.0,
+                 "stale_lookups": 1.0, "forwards": 5.0},
+            ],
+            "ledger": [
+                {"t_ms": 1.0, "node": 0, "key": "f:1", "master": True,
+                 "nonmasters_held": 1, "reason": "forward", "dest": 2},
+            ],
+        }
+        out = render_cache_report(snap)
+        assert "master-evicted-while-replica-held" in out
+        assert "evictions by reason" in out
+        assert "forward outcomes" in out
+        assert "per-node replica census" in out
+        assert "forwarding-hop histogram" in out
+        assert "per-window series" in out
+        assert "-> node 2" in out and "replicas held: 1" in out
+
+    def test_ledger_tail_truncates(self):
+        ledger = [
+            {"t_ms": float(i), "node": 0, "key": f"b{i}", "master": False,
+             "nonmasters_held": 0, "reason": "drop"}
+            for i in range(30)
+        ]
+        out = render_cache_report(
+            {"totals": {}, "per_node": {}, "hop_histogram": {},
+             "windows": [], "ledger": ledger},
+            ledger_tail=5,
+        )
+        assert "last 5 of 30 kept" in out
+        assert "b29" in out and "b10" not in out
