@@ -17,7 +17,6 @@ Requests walk the cluster round-robin, mirroring RR DNS.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from ..cache.block import BlockId, FileLayout
 from ..cache.blockcache import BlockCache
@@ -48,7 +47,7 @@ class AnalyticCoopCache:
         self.policy = policy
         self.forward_on_evict = forward_on_evict
         self.touch_on_peer_hit = touch_on_peer_hit
-        self.caches: List[BlockCache] = [
+        self.caches: list[BlockCache] = [
             BlockCache(i, capacity_blocks) for i in range(num_nodes)
         ]
         self.directory = GlobalDirectory()
@@ -116,7 +115,7 @@ class AnalyticCoopCache:
         dst.insert(blk, master=True, age=age)
         self.directory.set_master(blk, target)
 
-    def _oldest_peer(self, node_id: int, victim_age: float) -> Optional[int]:
+    def _oldest_peer(self, node_id: int, victim_age: float) -> int | None:
         best, best_age = None, victim_age
         for cache in self.caches:
             if cache.node_id == node_id:
@@ -127,7 +126,7 @@ class AnalyticCoopCache:
         return best
 
     # -- harness ------------------------------------------------------------
-    def run(self, trace: Trace, warmup_frac: float = 0.25) -> Dict[str, float]:
+    def run(self, trace: Trace, warmup_frac: float = 0.25) -> dict[str, float]:
         """Replay ``trace`` (round-robin nodes); post-warm-up hit rates."""
         if not 0.0 <= warmup_frac < 1.0:
             raise ValueError("warmup_frac must be in [0, 1)")
@@ -138,7 +137,7 @@ class AnalyticCoopCache:
             self.access(i % self.num_nodes, int(file_id))
         return self.hit_rates()
 
-    def hit_rates(self) -> Dict[str, float]:
+    def hit_rates(self) -> dict[str, float]:
         """Block-level local/remote/disk fractions since the last reset."""
         total = sum(self.counts.values())
         if total == 0:
@@ -193,7 +192,7 @@ class AnalyticPress:
         if cache.fits(size_kb):
             cache.insert(file_id, size_kb)
 
-    def run(self, trace: Trace, warmup_frac: float = 0.25) -> Dict[str, float]:
+    def run(self, trace: Trace, warmup_frac: float = 0.25) -> dict[str, float]:
         """Replay ``trace``; post-warm-up hit rates."""
         if not 0.0 <= warmup_frac < 1.0:
             raise ValueError("warmup_frac must be in [0, 1)")
@@ -204,7 +203,7 @@ class AnalyticPress:
             self.access(i % self.num_nodes, int(file_id))
         return self.hit_rates()
 
-    def hit_rates(self) -> Dict[str, float]:
+    def hit_rates(self) -> dict[str, float]:
         """Block-weighted hit fractions since the last reset."""
         total = sum(self.counts.values())
         if total == 0:

@@ -17,7 +17,6 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
 
 from .compare import compare_records, render_compare
 from .schema import load_record
@@ -82,7 +81,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "compare":
         return _cmd_compare(args)

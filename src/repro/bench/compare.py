@@ -11,7 +11,7 @@ nothing about the code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any
 
 __all__ = ["CompareResult", "compare_records", "render_compare"]
 
@@ -22,9 +22,9 @@ class CompareResult:
 
     name: str
     threshold: float
-    regressions: List[Dict[str, Any]] = field(default_factory=list)
-    improvements: List[Dict[str, Any]] = field(default_factory=list)
-    missing: List[str] = field(default_factory=list)
+    regressions: list[dict[str, Any]] = field(default_factory=list)
+    improvements: list[dict[str, Any]] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
     compared: int = 0
     params_mismatch: bool = False
 
@@ -36,8 +36,8 @@ class CompareResult:
 
 
 def compare_records(
-    current: Dict[str, Any],
-    baseline: Dict[str, Any],
+    current: dict[str, Any],
+    baseline: dict[str, Any],
     threshold: float = 0.10,
 ) -> CompareResult:
     """Compare ``current`` against ``baseline`` at ``threshold``."""

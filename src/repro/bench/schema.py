@@ -23,7 +23,7 @@ import hashlib
 import json
 import os
 import subprocess
-from typing import Any, Dict, Optional
+from typing import Any
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -63,7 +63,7 @@ def _canonical(obj: Any) -> str:
                       default=float)
 
 
-def params_digest(params: Dict[str, Any]) -> str:
+def params_digest(params: dict[str, Any]) -> str:
     """Short stable digest of a parameter dict (16 hex chars)."""
     return hashlib.sha256(_canonical(params).encode()).hexdigest()[:16]
 
@@ -79,7 +79,7 @@ def _label(item: Any, index: int) -> str:
 
 
 def _collect(obj: Any, path: str, in_throughput: bool,
-             out: Dict[str, float]) -> None:
+             out: dict[str, float]) -> None:
     if isinstance(obj, dict):
         for key in sorted(obj):
             sub = f"{path}.{key}" if path else str(key)
@@ -102,7 +102,7 @@ def _collect(obj: Any, path: str, in_throughput: bool,
         out[path] = float(obj)
 
 
-def extract_throughput_metrics(data: Any) -> Dict[str, float]:
+def extract_throughput_metrics(data: Any) -> dict[str, float]:
     """Flatten every ``throughput_rps`` value in ``data`` to
     ``dotted.path -> scalar`` (lists of numbers collapse to their mean).
 
@@ -112,7 +112,7 @@ def extract_throughput_metrics(data: Any) -> Dict[str, float]:
     that carry a ``system`` / ``name`` / ``trace`` field contribute it
     to the path instead of a bare index, so paths survive reordering.
     """
-    out: Dict[str, float] = {}
+    out: dict[str, float] = {}
     _collect(data, "", False, out)
     return out
 
@@ -122,9 +122,9 @@ def wrap_result(
     data: Any,
     *,
     seed: int = 0,
-    params: Optional[Dict[str, Any]] = None,
-    metrics: Optional[Dict[str, float]] = None,
-) -> Dict[str, Any]:
+    params: dict[str, Any] | None = None,
+    metrics: dict[str, float] | None = None,
+) -> dict[str, Any]:
     """Build one trajectory record around a benchmark result."""
     params = dict(params or {})
     return {
@@ -142,14 +142,14 @@ def wrap_result(
     }
 
 
-def dump_record(record: Dict[str, Any], path) -> None:
+def dump_record(record: dict[str, Any], path) -> None:
     """Serialize a record with sorted keys (stable diffs)."""
     with open(path, "w", encoding="utf-8") as fp:
         json.dump(record, fp, indent=2, sort_keys=True, default=float)
         fp.write("\n")
 
 
-def load_record(path) -> Dict[str, Any]:
+def load_record(path) -> dict[str, Any]:
     """Read a record back."""
     with open(path, "r", encoding="utf-8") as fp:
         return json.load(fp)

@@ -9,7 +9,8 @@ last block of a file is usually partial).
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Sequence
+from collections.abc import Iterator, Sequence
+from typing import NamedTuple
 
 from ..params import SimParams
 
@@ -32,12 +33,12 @@ class FileLayout:
 
     __slots__ = ("params", "_sizes_kb", "_blocks_per_extent")
 
-    def __init__(self, sizes_kb: Sequence[float], params: SimParams):
+    def __init__(self, sizes_kb: Sequence[float], params: SimParams) -> None:
         for i, s in enumerate(sizes_kb):
             if s <= 0:
                 raise ValueError(f"file {i} has non-positive size {s!r}")
         self.params = params
-        self._sizes_kb: List[float] = list(sizes_kb)
+        self._sizes_kb: list[float] = list(sizes_kb)
         self._blocks_per_extent = params.extent_kb // params.block_kb
 
     # -- file-level queries ---------------------------------------------------

@@ -14,10 +14,13 @@ victim (drop vs forward to a peer) is the middleware's job in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING
 
 from .block import BlockId
 from .lru import AgedLRU
+
+if TYPE_CHECKING:
+    from ..obs.cachestats import CacheScope
 
 __all__ = ["BlockCache", "CacheFullError"]
 
@@ -38,7 +41,8 @@ class BlockCache:
     __slots__ = ("node_id", "capacity_blocks", "_masters", "_nonmasters",
                  "_dirty", "_scope")
 
-    def __init__(self, node_id: int, capacity_blocks: int, scope=None):
+    def __init__(self, node_id: int, capacity_blocks: int,
+                 scope: CacheScope | None = None) -> None:
         if capacity_blocks < 1:
             raise ValueError("capacity must be at least one block")
         self.node_id = node_id
@@ -46,7 +50,11 @@ class BlockCache:
         self._masters = AgedLRU()
         self._nonmasters = AgedLRU()
         # Masters holding unwritten-back modifications (write extension).
-        self._dirty: set = set()
+        # A dict used as an insertion-ordered set: iteration order is the
+        # order blocks were dirtied, which is deterministic by
+        # construction (a hash-ordered set would couple flush order to
+        # hash-table internals).
+        self._dirty: dict[BlockId, None] = {}
         self._scope = scope
 
     # -- size -----------------------------------------------------------------
@@ -87,7 +95,7 @@ class BlockCache:
             return self._masters.age_of(block)
         return self._nonmasters.age_of(block)
 
-    def oldest(self) -> Optional[Tuple[BlockId, float, bool]]:
+    def oldest(self) -> tuple[BlockId, float, bool] | None:
         """Overall oldest resident block as (block, age, is_master).
 
         Ties between the two sets break toward the non-master — evicting
@@ -112,11 +120,11 @@ class BlockCache:
         """
         return min(self._masters.oldest_age(), self._nonmasters.oldest_age())
 
-    def oldest_nonmaster(self) -> Optional[Tuple[BlockId, float]]:
+    def oldest_nonmaster(self) -> tuple[BlockId, float] | None:
         """Oldest non-master copy, or None if the cache holds only masters."""
         return self._nonmasters.oldest()
 
-    def masters(self) -> Tuple[BlockId, ...]:
+    def masters(self) -> tuple[BlockId, ...]:
         """Read-only view of the resident master copies.
 
         A snapshot tuple, so callers (invariant checks, debugging tools)
@@ -156,7 +164,7 @@ class BlockCache:
         preserve modified data (eviction of a dirty master) check
         :meth:`is_dirty` *before* removing.
         """
-        self._dirty.discard(block)
+        self._dirty.pop(block, None)
         if block in self._masters:
             self._masters.remove(block)
             was_master = True
@@ -172,11 +180,11 @@ class BlockCache:
         """Flag a resident *master* as modified and not yet written back."""
         if block not in self._masters:
             raise KeyError(f"{block} is not a resident master")
-        self._dirty.add(block)
+        self._dirty[block] = None
 
     def clear_dirty(self, block: BlockId) -> None:
         """The block's modifications reached disk (idempotent)."""
-        self._dirty.discard(block)
+        self._dirty.pop(block, None)
 
     def is_dirty(self, block: BlockId) -> bool:
         """True if the block holds unwritten-back modifications."""
@@ -187,7 +195,16 @@ class BlockCache:
         """Resident dirty masters."""
         return len(self._dirty)
 
-    def clear(self) -> Tuple[BlockId, ...]:
+    def dirty_blocks(self) -> tuple[BlockId, ...]:
+        """Snapshot of the dirty masters, in the order they were dirtied.
+
+        The sanctioned way for the middleware to enumerate what a flush
+        must write back — reaching into ``_dirty`` would bypass the
+        census code path (simlint SL04).
+        """
+        return tuple(self._dirty)
+
+    def clear(self) -> tuple[BlockId, ...]:
         """Drop every resident block (fail-stop crash: memory is lost).
 
         Returns the blocks that were resident (masters first) so the
@@ -213,7 +230,7 @@ class BlockCache:
         if self._scope is not None:
             self._scope.on_promote(self.node_id, block)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """Occupancy snapshot, so observers never reach into private state."""
         return {
             "node": self.node_id,

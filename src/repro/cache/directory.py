@@ -16,7 +16,7 @@ mapping"; a file's home is where its blocks live on disk.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections.abc import Iterable
 
 from .block import BlockId
 
@@ -29,9 +29,9 @@ class GlobalDirectory:
     __slots__ = ("_masters",)
 
     def __init__(self) -> None:
-        self._masters: Dict[BlockId, int] = {}
+        self._masters: dict[BlockId, int] = {}
 
-    def lookup(self, block: BlockId) -> Optional[int]:
+    def lookup(self, block: BlockId) -> int | None:
         """Node currently holding the master of ``block``, or None."""
         return self._masters.get(block)
 
@@ -49,17 +49,22 @@ class GlobalDirectory:
     def masters_at(self, node_id: int) -> int:
         """Count of master blocks recorded at ``node_id`` (O(n); debugging
         and invariant checks only)."""
+        # simlint: ordered -- integer count over the whole view; the
+        # result is independent of iteration order.
         return sum(1 for holder in self._masters.values() if holder == node_id)
 
-    def census(self) -> Dict[int, int]:
+    def census(self) -> dict[int, int]:
         """Recorded master count per node id (one O(n) pass; telemetry
         snapshots and invariant checks, not the request path)."""
-        counts: Dict[int, int] = {}
+        counts: dict[int, int] = {}
+        # simlint: ordered -- entries were inserted in event order
+        # (set_master is only called from the deterministic event loop),
+        # and integer counting is order-independent anyway.
         for holder in self._masters.values():
             counts[holder] = counts.get(holder, 0) + 1
         return counts
 
-    def purge_node(self, node_id: int) -> List[BlockId]:
+    def purge_node(self, node_id: int) -> list[BlockId]:
         """Drop every entry pointing at ``node_id``; returns those blocks.
 
         Directory repair after a fail-stop crash: the node's memory — and
@@ -68,6 +73,9 @@ class GlobalDirectory:
         directory; crashes are rare events, not a hot path).
         """
         purged = [
+            # simlint: ordered -- dict insertion order: entries were
+            # recorded in event order, so the purge list (and the repair
+            # events it drives) is deterministic run to run.
             blk for blk, holder in self._masters.items() if holder == node_id
         ]
         for blk in purged:
@@ -87,7 +95,7 @@ class HomeMap:
 
     __slots__ = ("num_nodes", "num_files", "_home")
 
-    def __init__(self, num_files: int, num_nodes: int, strategy: str = "round_robin"):
+    def __init__(self, num_files: int, num_nodes: int, strategy: str = "round_robin") -> None:
         if num_nodes < 1 or num_files < 1:
             raise ValueError("need at least one file and one node")
         self.num_nodes = num_nodes
@@ -103,7 +111,7 @@ class HomeMap:
         """Node whose disk stores ``file_id``."""
         return self._home[file_id]
 
-    def concentrate(self, file_ids, node_id: int = 0) -> None:
+    def concentrate(self, file_ids: Iterable[int], node_id: int = 0) -> None:
         """Re-home the given files onto one node (ablation A2)."""
         if not 0 <= node_id < self.num_nodes:
             raise ValueError(f"node {node_id} out of range")

@@ -16,7 +16,7 @@ surface.  Amortized cost per operation is O(log n).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 from .block import BlockId
 
@@ -33,8 +33,8 @@ class AgedLRU:
     __slots__ = ("_ages", "_heap", "_seq")
 
     def __init__(self) -> None:
-        self._ages: Dict[BlockId, float] = {}
-        self._heap: List[Tuple[float, int, BlockId]] = []
+        self._ages: dict[BlockId, float] = {}
+        self._heap: list[tuple[float, int, BlockId]] = []
         self._seq = 0
 
     def __len__(self) -> int:
@@ -76,11 +76,14 @@ class AgedLRU:
         self._seq += 1
         heapq.heappush(self._heap, (age, self._seq, block))
 
-    def oldest(self) -> Optional[Tuple[BlockId, float]]:
+    def oldest(self) -> tuple[BlockId, float] | None:
         """The (block, age) with the smallest age, or None when empty."""
         while self._heap:
             age, _seq, block = self._heap[0]
             current = self._ages.get(block)
+            # simlint: disable=SL03 -- staleness check: compares the heap
+            # entry against the *same stored float*, not a computed sum;
+            # exact equality is the correct predicate here.
             if current is not None and current == age:
                 return block, age
             heapq.heappop(self._heap)  # stale: removed or re-aged
@@ -92,7 +95,7 @@ class AgedLRU:
         entry = self.oldest()
         return entry[1] if entry is not None else float("inf")
 
-    def pop_oldest(self) -> Tuple[BlockId, float]:
+    def pop_oldest(self) -> tuple[BlockId, float]:
         """Remove and return the oldest (block, age); error when empty."""
         entry = self.oldest()
         if entry is None:
@@ -106,6 +109,10 @@ class AgedLRU:
         """Rebuild the heap, dropping stale entries (optional maintenance;
         called by long-running simulations to bound memory)."""
         self._heap = [
+            # simlint: ordered -- insertion order of _ages; the rebuilt
+            # heap is re-heapified below, and sequence numbers only break
+            # exact-age ties, which insertion order resolves
+            # deterministically.
             (age, i, block) for i, (block, age) in enumerate(self._ages.items())
         ]
         self._seq = len(self._heap)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import TYPE_CHECKING
 
 from ..params import SimParams
 from ..sim.engine import Simulator
@@ -10,6 +10,9 @@ from .disk import SCAN
 from .network import Network
 from .node import Node
 from .router import RoundRobinDNS, Router
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Cluster"]
 
@@ -29,12 +32,12 @@ class Cluster:
         params: SimParams,
         num_nodes: int,
         disk_discipline: str = SCAN,
-    ):
+    ) -> None:
         if num_nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.sim = sim
         self.params = params
-        self.nodes: List[Node] = [
+        self.nodes: list[Node] = [
             Node(sim, i, params, disk_discipline=disk_discipline)
             for i in range(num_nodes)
         ]
@@ -45,7 +48,7 @@ class Cluster:
     def __len__(self) -> int:
         return len(self.nodes)
 
-    def alive_nodes(self) -> List[Node]:
+    def alive_nodes(self) -> list[Node]:
         """Nodes currently up (all of them, absent fault injection)."""
         return [n for n in self.nodes if n.up]
 
@@ -56,19 +59,19 @@ class Cluster:
         self.network.reset_stats()
         self.router.reset_stats()
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Register every node's hardware and the LAN into ``registry``."""
         for node in self.nodes:
             node.bind_metrics(registry)
         self.network.bind_metrics(registry)
 
-    def utilization(self) -> Dict[str, float]:
+    def utilization(self) -> dict[str, float]:
         """Cluster-mean utilization per resource class (Figure 6a)."""
         per_node = [n.utilization() for n in self.nodes]
         keys = ("cpu", "nic", "bus", "disk")
         return {k: sum(u[k] for u in per_node) / len(per_node) for k in keys}
 
-    def max_utilization(self) -> Dict[str, float]:
+    def max_utilization(self) -> dict[str, float]:
         """Maximum per-node utilization per resource class.
 
         Useful for spotting the single bottleneck disk the paper describes

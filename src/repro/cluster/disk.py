@@ -20,11 +20,14 @@ This is the component the paper's Section 5 turns on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING
 
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
 from ..sim.stats import RunningStats, UtilizationTracker
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["DiskRequest", "Disk", "FIFO", "SCAN"]
 
@@ -47,7 +50,7 @@ class DiskRequest:
     #: Bytes actually read, in KB (the last block may be partial).
     size_kb: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.nblocks < 1:
             raise ValueError("run must contain at least one block")
         if self.size_kb <= 0:
@@ -58,7 +61,7 @@ class DiskRequest:
         """Block index one past the last block of the run."""
         return self.start_block + self.nblocks
 
-    def sort_key(self) -> Tuple[int, int, int]:
+    def sort_key(self) -> tuple[int, int, int]:
         """Elevator sweep position."""
         return (self.file_id, self.extent, self.start_block)
 
@@ -85,7 +88,7 @@ class Disk:
         params: SimParams,
         discipline: str = SCAN,
         queue_limit: int = 100_000,
-    ):
+    ) -> None:
         if discipline not in (FIFO, SCAN):
             raise ValueError(f"unknown disk discipline: {discipline!r}")
         self.sim = sim
@@ -104,10 +107,10 @@ class Disk:
         self.completed = 0
         #: Total KB read.
         self.reads_kb = 0.0
-        self._queue: List[Tuple[DiskRequest, Event]] = []
+        self._queue: list[tuple[DiskRequest, Event]] = []
         self._busy = False
         #: (file_id, extent, next_block) the head would continue at.
-        self._head: Optional[Tuple[int, int, int]] = None
+        self._head: tuple[int, int, int] | None = None
         #: Fault injection: no run enters service before this instant.
         #: 0.0 (the past) means never stalled — the dispatch-path check
         #: is then always false and costs one comparison.
@@ -168,7 +171,7 @@ class Disk:
             "utilization": self.utilization.utilization(self.sim.now),
         }
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Register this disk as a collector under its own name."""
         registry.register_collector(self.name, self.metrics)
 

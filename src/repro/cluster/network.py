@@ -11,13 +11,18 @@ Receive-side protocol work is charged to the receiver's CPU by the caller
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from collections.abc import Generator
+from typing import TYPE_CHECKING
 
-from ..obs.profile import NULL_PROFILER
+from ..obs.profile import NULL_PROFILER, NullProfiler, Profiler
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
 from ..sim.faults import NULL_FAULTS
 from .node import Node
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracing import Span
 
 __all__ = ["Network"]
 
@@ -27,7 +32,7 @@ class Network:
 
     __slots__ = ("sim", "params", "bytes_kb", "messages", "faults")
 
-    def __init__(self, sim: Simulator, params: SimParams):
+    def __init__(self, sim: Simulator, params: SimParams) -> None:
         self.sim = sim
         self.params = params
         #: Total KB moved since the last reset (for traffic accounting).
@@ -41,8 +46,9 @@ class Network:
         self.faults = NULL_FAULTS
 
     def transfer(
-        self, src: Optional[Node], dst: Optional[Node], size_kb: float,
-        prof=NULL_PROFILER, parent=None,
+        self, src: Node | None, dst: Node | None, size_kb: float,
+        prof: Profiler | NullProfiler = NULL_PROFILER,
+        parent: Span | None = None,
     ) -> Generator[Event, None, None]:
         """Coroutine: move ``size_kb`` from ``src`` to ``dst``.
 
@@ -80,6 +86,6 @@ class Network:
         """Current traffic totals for the metrics registry."""
         return {"bytes_kb": self.bytes_kb, "messages": self.messages}
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Register LAN traffic accounting as a collector."""
         registry.register_collector("network", self.metrics)

@@ -14,12 +14,15 @@ shared by the cooperative-caching server and the PRESS baseline.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING
 
 from ..params import SimParams
 from ..sim.engine import Simulator
 from ..sim.servicecenter import ServiceCenter
 from .disk import SCAN, Disk
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["Node"]
 
@@ -35,7 +38,7 @@ class Node:
         node_id: int,
         params: SimParams,
         disk_discipline: str = SCAN,
-    ):
+    ) -> None:
         if node_id < 0:
             raise ValueError("node_id must be >= 0")
         self.sim = sim
@@ -92,7 +95,7 @@ class Node:
         self.bus.reset_stats()
         self.disk.reset_stats()
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Register every hardware component into a shared
         :class:`~repro.obs.metrics.MetricsRegistry` (collectors only:
         nothing on the simulation hot path changes)."""
@@ -101,7 +104,7 @@ class Node:
         self.bus.bind_metrics(registry)
         self.disk.bind_metrics(registry)
 
-    def utilization(self, now: Optional[float] = None) -> dict:
+    def utilization(self, now: float | None = None) -> dict:
         """Per-component utilization over the current window (Figure 6a)."""
         t = self.sim.now if now is None else now
         return {

@@ -10,7 +10,7 @@ the shape of the paper's pipeline).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..params import SimParams
 from ..sim.engine import Event, Simulator
@@ -23,7 +23,7 @@ __all__ = ["Router", "RoundRobinDNS"]
 class Router(ServiceCenter):
     """Cisco-7600-class front end: fixed per-request forwarding cost."""
 
-    def __init__(self, sim: Simulator, params: SimParams):
+    def __init__(self, sim: Simulator, params: SimParams) -> None:
         super().__init__(sim, "router", capacity=1, queue_limit=params.queue_limit)
         self._forward_ms = params.router.forward_ms
 
@@ -43,13 +43,13 @@ class RoundRobinDNS:
 
     __slots__ = ("_nodes", "_next")
 
-    def __init__(self, nodes: Sequence[Node]):
+    def __init__(self, nodes: Sequence[Node]) -> None:
         if not nodes:
             raise ValueError("need at least one node")
-        self._nodes: List[Node] = list(nodes)
+        self._nodes: list[Node] = list(nodes)
         self._next = 0
 
-    def pick(self) -> Optional[Node]:
+    def pick(self) -> Node | None:
         """The next *live* node in rotation, or None if every node is down.
 
         DNS health checking: crashed nodes are skipped (their requests

@@ -22,7 +22,7 @@ build the pieces directly; see :mod:`repro.experiments.runner`.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from collections.abc import Generator, Sequence
 
 from ..cache.block import FileLayout
 from ..cache.directory import GlobalDirectory, HomeMap
@@ -53,12 +53,12 @@ class CoopCacheService:
         file_sizes_kb: Sequence[float],
         num_nodes: int,
         mem_mb_per_node: float,
-        config: Optional[CoopCacheConfig] = None,
+        config: CoopCacheConfig | None = None,
         params: SimParams = DEFAULT_PARAMS,
         home_strategy: str = "round_robin",
         seed: int = 0,
-        fault_plan: Optional[FaultPlan] = None,
-    ):
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.config = config or CoopCacheConfig()
         self.params = params
         self.sim = Simulator()
@@ -68,14 +68,14 @@ class CoopCacheService:
         )
         self.layout = FileLayout(file_sizes_kb, params)
         self.homes = HomeMap(self.layout.num_files, num_nodes, home_strategy)
-        directory: Optional[GlobalDirectory] = None
+        directory: GlobalDirectory | None = None
         if self.config.directory == "hints":
             directory = HintDirectory(
                 self.config.hint_accuracy, num_nodes, stream(seed, "hints")
             )
         #: Fault injector (None without a plan — zero overhead, and unit
         #: tests get the whole chaos stack from one constructor argument).
-        self.faults: Optional[FaultInjector] = None
+        self.faults: FaultInjector | None = None
         if fault_plan:
             self.faults = FaultInjector(fault_plan, params, seed=seed)
             self.faults.install(self.sim, self.cluster)
@@ -101,6 +101,6 @@ class CoopCacheService:
         """Convenience: start a plain middleware read as its own process."""
         return self.submit(self.layer.read(self.node(node_id), file_id))
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: float | None = None) -> None:
         """Drive the simulation (see :meth:`repro.sim.Simulator.run`)."""
         self.sim.run(until=until)

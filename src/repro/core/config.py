@@ -51,7 +51,7 @@ class CoopCacheConfig:
     #: escape hatch (ablation A9); ignored by other policies.
     hybrid_bias_ms: float = 1_000.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(
                 f"unknown policy {self.policy!r}; choose from {sorted(POLICIES)}"
@@ -67,7 +67,7 @@ class CoopCacheConfig:
         if self.hybrid_bias_ms < 0:
             raise ValueError("hybrid_bias_ms must be >= 0")
 
-    def with_overrides(self, **kwargs) -> "CoopCacheConfig":
+    def with_overrides(self, **kwargs: object) -> "CoopCacheConfig":
         """Copy with fields replaced (for ablation sweeps)."""
         return replace(self, **kwargs)
 

@@ -28,7 +28,6 @@ perturbs workload generation.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -46,7 +45,7 @@ class HintDirectory(GlobalDirectory):
 
     __slots__ = ("accuracy", "num_nodes", "_rng", "wrong_hints", "lookups")
 
-    def __init__(self, accuracy: float, num_nodes: int, rng: np.random.Generator):
+    def __init__(self, accuracy: float, num_nodes: int, rng: np.random.Generator) -> None:
         if not 0.0 <= accuracy <= 1.0:
             raise ValueError("accuracy must be in [0, 1]")
         if num_nodes < 1:
@@ -60,7 +59,7 @@ class HintDirectory(GlobalDirectory):
         #: Total routing lookups.
         self.lookups = 0
 
-    def route_lookup(self, block: BlockId) -> Optional[int]:
+    def route_lookup(self, block: BlockId) -> int | None:
         """Where a node *believes* the master of ``block`` lives.
 
         With probability ``accuracy`` this is the truth; otherwise the

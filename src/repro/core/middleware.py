@@ -31,7 +31,8 @@ in flight — are handled by falling back to the home node's disk.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Generator, List, Optional, Tuple
+from collections.abc import Callable, Generator
+from typing import TYPE_CHECKING
 
 from ..cache.block import BlockId, FileLayout
 from ..cache.blockcache import BlockCache
@@ -43,9 +44,12 @@ from ..obs.cachestats import NULL_CACHESCOPE
 from ..obs.profile import NULL_PROFILER
 from ..obs.tracing import NULL_TRACER, Span
 from ..sim.engine import Event
-from ..sim.faults import NULL_FAULTS, RequestAborted
+from ..sim.faults import NULL_FAULTS, FaultInjector, NullFaultInjector, RequestAborted
 from ..sim.stats import CounterSet
 from .config import CoopCacheConfig
+
+if TYPE_CHECKING:
+    from ..obs import Observability
 
 __all__ = ["CoopCacheLayer", "REQUEST_MSG_KB"]
 
@@ -67,11 +71,11 @@ class CoopCacheLayer:
         layout: FileLayout,
         homes: HomeMap,
         capacity_blocks: int,
-        config: Optional[CoopCacheConfig] = None,
-        directory: Optional[GlobalDirectory] = None,
-        obs=None,
-        faults=None,
-    ):
+        config: CoopCacheConfig | None = None,
+        directory: GlobalDirectory | None = None,
+        obs: Observability | None = None,
+        faults: FaultInjector | NullFaultInjector | None = None,
+    ) -> None:
         if homes.num_nodes != len(cluster):
             raise ValueError("home map node count != cluster size")
         if homes.num_files != layout.num_files:
@@ -87,7 +91,7 @@ class CoopCacheLayer:
         #: (no sim events), so the event stream is identical either way.
         self.scope = getattr(obs, "cachescope", None) or NULL_CACHESCOPE
         cache_scope = self.scope if self.scope.active else None
-        self.caches: List[BlockCache] = [
+        self.caches: list[BlockCache] = [
             BlockCache(node.node_id, capacity_blocks, scope=cache_scope)
             for node in cluster.nodes
         ]
@@ -115,7 +119,7 @@ class CoopCacheLayer:
         # Per-node in-flight fetch table: concurrent requests for a block
         # already being fetched join the existing fetch instead of issuing
         # a duplicate disk/peer read (standard request coalescing).
-        self._inflight: List[Dict[BlockId, Event]] = [
+        self._inflight: list[dict[BlockId, Event]] = [
             {} for _ in cluster.nodes
         ]
         # Cluster-wide pending-master table: block -> completion event of
@@ -124,7 +128,7 @@ class CoopCacheLayer:
         # reads in progress; a requester waits for the pending read and
         # then fetches the fresh master from its new holder instead of
         # issuing a duplicate disk read.
-        self._pending_master: Dict[BlockId, Event] = {}
+        self._pending_master: dict[BlockId, Event] = {}
         # Hint exchange piggybacks on control messages (Sarkar & Hartman's
         # measured 0.4% overhead); perfect directories pay nothing.
         from .hints import HINT_TRAFFIC_OVERHEAD, HintDirectory
@@ -140,7 +144,7 @@ class CoopCacheLayer:
     # public API
     # ------------------------------------------------------------------
     def read(
-        self, node: Node, file_id: int, span: Optional[Span] = None
+        self, node: Node, file_id: int, span: Span | None = None
     ) -> Generator[Event, object, None]:
         """Coroutine: make every block of ``file_id`` readable at ``node``.
 
@@ -155,7 +159,7 @@ class CoopCacheLayer:
         return (yield from self.read_blocks(node, blocks, span=span))
 
     def read_blocks(
-        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
+        self, node: Node, blocks: list[BlockId], span: Span | None = None
     ) -> Generator[Event, object, str]:
         """Coroutine: ensure ``blocks`` are served through ``node``.
 
@@ -186,6 +190,9 @@ class CoopCacheLayer:
             self.caches[node.node_id].touch(blk, self.sim.now)
 
         fetches = list(joined)
+        # simlint: ordered -- by_peer/by_home are populated by one pass
+        # over the request's block list, so insertion (= fan-out) order
+        # is the deterministic block order of the request.
         for peer_id, wanted in by_peer.items():
             fetches.append(
                 self._spawn_fetch(
@@ -193,6 +200,7 @@ class CoopCacheLayer:
                     self._fetch_from_peer(node, peer_id, wanted, parent=span),
                 )
             )
+        # simlint: ordered -- same single deterministic pass as by_peer.
         for home_id, wanted in by_home.items():
             proc = self._spawn_fetch(
                 node, wanted,
@@ -233,7 +241,9 @@ class CoopCacheLayer:
             return "remote"
         return "local"
 
-    def _make_pending_cleanup(self, blocks: List[BlockId], proc: Event):
+    def _make_pending_cleanup(
+        self, blocks: list[BlockId], proc: Event
+    ) -> Callable[[Event], None]:
         """Callback clearing pending-master entries when a fetch ends."""
 
         def cleanup(_ev: Event) -> None:
@@ -243,7 +253,10 @@ class CoopCacheLayer:
 
         return cleanup
 
-    def _spawn_fetch(self, node: Node, blocks: List[BlockId], gen) -> Event:
+    def _spawn_fetch(
+        self, node: Node, blocks: list[BlockId],
+        gen: Generator[Event, object, None],
+    ) -> Event:
         """Start a fetch coroutine and register its blocks as in flight."""
         proc = self.sim.process(self._tracked(node.node_id, blocks, gen))
         table = self._inflight[node.node_id]
@@ -251,7 +264,10 @@ class CoopCacheLayer:
             table[blk] = proc
         return proc
 
-    def _tracked(self, node_id: int, blocks: List[BlockId], gen):
+    def _tracked(
+        self, node_id: int, blocks: list[BlockId],
+        gen: Generator[Event, object, None],
+    ) -> Generator[Event, object, None]:
         """Run ``gen`` and clear the in-flight entries when it finishes."""
         try:
             yield from gen
@@ -320,13 +336,13 @@ class CoopCacheLayer:
         """
         self.tracer.point("fault_recovery", node=node_id)
 
-    def _youngest_replica(self, blk: BlockId, exclude: int) -> Optional[int]:
+    def _youngest_replica(self, blk: BlockId, exclude: int) -> int | None:
         """Up node holding the youngest non-master copy of ``blk``.
 
         Deterministic re-election: youngest age wins (it is the most
         recently useful copy), ties break to the lowest node id.
         """
-        best_id: Optional[int] = None
+        best_id: int | None = None
         best_age = -1.0  # ages are sim timestamps, >= 0
         for cache in self.caches:
             nid = cache.node_id
@@ -340,7 +356,7 @@ class CoopCacheLayer:
         return best_id
 
     def _detect_fault(
-        self, node: Node, span: Optional[Span]
+        self, node: Node, span: Span | None
     ) -> Generator[Event, object, None]:
         """Coroutine: the fixed failure-detection wait.
 
@@ -354,7 +370,7 @@ class CoopCacheLayer:
         )
 
     def _await_home(
-        self, node: Node, home_id: int, attempt: int, span: Optional[Span]
+        self, node: Node, home_id: int, attempt: int, span: Span | None
     ) -> Generator[Event, object, int]:
         """Coroutine: wait (bounded) until ``home_id`` is reachable.
 
@@ -388,7 +404,7 @@ class CoopCacheLayer:
     # write path (paper Section 6 future work)
     # ------------------------------------------------------------------
     def write(
-        self, node: Node, file_id: int, span: Optional[Span] = None
+        self, node: Node, file_id: int, span: Span | None = None
     ) -> Generator[Event, object, None]:
         """Coroutine: write every block of ``file_id`` at ``node``.
 
@@ -409,7 +425,7 @@ class CoopCacheLayer:
         yield from self.write_blocks(node, blocks, span=span)
 
     def write_blocks(
-        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
+        self, node: Node, blocks: list[BlockId], span: Span | None = None
     ) -> Generator[Event, object, None]:
         """Coroutine: whole-block writes of ``blocks`` at ``node``."""
         yield node.cpu.submit(self.params.cpu.file_request_ms(len(blocks)))
@@ -419,7 +435,7 @@ class CoopCacheLayer:
 
         # Invalidate replicas cluster-wide (perfect copy knowledge: one
         # message to each peer actually holding a stale copy).
-        victims: Dict[int, List[BlockId]] = defaultdict(list)
+        victims: dict[int, list[BlockId]] = defaultdict(list)
         for peer_cache in self.caches:
             if peer_cache.node_id == node.node_id:
                 continue
@@ -429,6 +445,9 @@ class CoopCacheLayer:
         if victims:
             invalidations = [
                 self.sim.process(self._invalidate(node, pid, blks))
+                # simlint: ordered -- victims is keyed in peer-scan order
+                # (a deterministic loop over self.caches), so the
+                # invalidation fan-out order is reproducible.
                 for pid, blks in victims.items()
             ]
             yield self.sim.all_of(invalidations)
@@ -512,7 +531,7 @@ class CoopCacheLayer:
             cache.mark_dirty(blk)
 
     def _invalidate(
-        self, writer: Node, peer_id: int, blocks: List[BlockId]
+        self, writer: Node, peer_id: int, blocks: list[BlockId]
     ) -> Generator[Event, object, None]:
         """Drop stale copies of ``blocks`` at ``peer_id``."""
         peer = self.cluster.nodes[peer_id]
@@ -533,18 +552,20 @@ class CoopCacheLayer:
                     self.directory.clear_master(blk)
 
     def _flush(
-        self, node: Node, blocks: List[BlockId],
-        parent: Optional[Span] = None,
+        self, node: Node, blocks: list[BlockId],
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Write dirty blocks back to their home disks."""
         span = self.tracer.start(
             "writeback", parent=parent, node=node.node_id, n=len(blocks)
         )
         cache = self.caches[node.node_id]
-        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        by_home: dict[int, list[BlockId]] = defaultdict(list)
         for blk in blocks:
             if blk in cache and cache.is_dirty(blk):
                 by_home[self.homes.home_of(blk.file_id)].append(blk)
+        # simlint: ordered -- by_home insertion order is the caller's
+        # dirty-block order, which is deterministic (see dirty_blocks()).
         for home_id, blks in by_home.items():
             if self.faults.active and self.faults.is_down(home_id):
                 # Home disk unreachable: the blocks stay dirty and are
@@ -566,19 +587,18 @@ class CoopCacheLayer:
     def sync(self, node: Node) -> Generator[Event, object, None]:
         """Coroutine: flush every dirty master at ``node`` (write-back)."""
         cache = self.caches[node.node_id]
-        dirty = [blk for blk in cache._dirty]  # noqa: SLF001 - own state
-        yield from self._flush(node, dirty)
+        yield from self._flush(node, list(cache.dirty_blocks()))
 
     # ------------------------------------------------------------------
     # classification
     # ------------------------------------------------------------------
     def _classify(
-        self, node: Node, blocks: List[BlockId], span: Optional[Span] = None
-    ) -> Tuple[
-        List[BlockId],
-        List[Event],
-        Dict[int, List[BlockId]],
-        Dict[int, List[BlockId]],
+        self, node: Node, blocks: list[BlockId], span: Span | None = None
+    ) -> tuple[
+        list[BlockId],
+        list[Event],
+        dict[int, list[BlockId]],
+        dict[int, list[BlockId]],
     ]:
         """Split ``blocks`` into local hits, in-flight fetches to join,
         per-peer fetches, and per-home disk reads, using the directory.
@@ -590,10 +610,10 @@ class CoopCacheLayer:
         """
         cache = self.caches[node.node_id]
         inflight = self._inflight[node.node_id]
-        local: List[BlockId] = []
-        joined: List[Event] = []
-        by_peer: Dict[int, List[BlockId]] = defaultdict(list)
-        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        local: list[BlockId] = []
+        joined: list[Event] = []
+        by_peer: dict[int, list[BlockId]] = defaultdict(list)
+        by_home: dict[int, list[BlockId]] = defaultdict(list)
         for blk in blocks:
             if blk in cache:
                 local.append(blk)
@@ -632,7 +652,7 @@ class CoopCacheLayer:
 
     def _retry_after(
         self, node: Node, blk: BlockId, pending: Event,
-        parent: Optional[Span] = None,
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Wait out another node's disk read, then re-resolve ``blk``.
 
@@ -690,8 +710,8 @@ class CoopCacheLayer:
     # peer fetch path (remote / global hit)
     # ------------------------------------------------------------------
     def _fetch_from_peer(
-        self, node: Node, peer_id: int, blocks: List[BlockId],
-        parent: Optional[Span] = None,
+        self, node: Node, peer_id: int, blocks: list[BlockId],
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Request non-master copies of ``blocks`` from ``peer_id``.
 
@@ -715,8 +735,8 @@ class CoopCacheLayer:
             raise
 
     def _peer_fetch_body(
-        self, node: Node, peer: Node, peer_id: int, blocks: List[BlockId],
-        span,
+        self, node: Node, peer: Node, peer_id: int, blocks: list[BlockId],
+        span: Span,
     ) -> Generator[Event, object, None]:
         """The peer-fetch protocol proper (span lifecycle in the caller)."""
         peer_cache = self.caches[peer_id]
@@ -785,8 +805,8 @@ class CoopCacheLayer:
         )
 
     def _reresolve(
-        self, node: Node, blocks: List[BlockId], exclude: int,
-        parent: Optional[Span] = None,
+        self, node: Node, blocks: list[BlockId], exclude: int,
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Re-route ``blocks`` after a peer miss or peer failure.
 
@@ -798,8 +818,8 @@ class CoopCacheLayer:
         their home disk.  A crash purges the directory synchronously, so
         re-resolution can never chase a dead node forever.
         """
-        chase: Dict[int, List[BlockId]] = defaultdict(list)
-        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        chase: dict[int, list[BlockId]] = defaultdict(list)
+        by_home: dict[int, list[BlockId]] = defaultdict(list)
         for blk in blocks:
             true_holder = self.directory.lookup(blk)
             if (
@@ -814,11 +834,14 @@ class CoopCacheLayer:
             self.sim.process(
                 self._fetch_from_peer(node, h, blks, parent=parent)
             )
+            # simlint: ordered -- chase/by_home are keyed in the stale
+            # block list's order (one deterministic classification pass).
             for h, blks in chase.items()
         ] + [
             self.sim.process(
                 self._fetch_from_disk(node, h, blks, parent=parent)
             )
+            # simlint: ordered -- same classification pass as chase.
             for h, blks in by_home.items()
         ]
         yield from self.prof.wait(
@@ -830,8 +853,8 @@ class CoopCacheLayer:
     # disk path (miss)
     # ------------------------------------------------------------------
     def _fetch_from_disk(
-        self, node: Node, home_id: int, blocks: List[BlockId],
-        parent: Optional[Span] = None,
+        self, node: Node, home_id: int, blocks: list[BlockId],
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Read ``blocks`` from their home's disk; install masters at
         ``node``; update the directory."""
@@ -918,7 +941,7 @@ class CoopCacheLayer:
                     del self._pending_master[blk]
             done.succeed()
 
-    def _runs(self, blocks: List[BlockId]) -> List[DiskRequest]:
+    def _runs(self, blocks: list[BlockId]) -> list[DiskRequest]:
         """One disk request per block — deliberately.
 
         The middleware is block-based, so its disk traffic arrives at the
@@ -945,8 +968,8 @@ class CoopCacheLayer:
     # installation & eviction
     # ------------------------------------------------------------------
     def _install(
-        self, node: Node, blocks: List[BlockId], *, master: bool,
-        parent: Optional[Span] = None,
+        self, node: Node, blocks: list[BlockId], *, master: bool,
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Insert arrived blocks at ``node``, evicting as needed.
 
@@ -1048,16 +1071,18 @@ class CoopCacheLayer:
             self.sim.process(self._writeback_evicted(node_id, [blk]))
 
     def _writeback_evicted(
-        self, node_id: int, blocks: List[BlockId]
+        self, node_id: int, blocks: list[BlockId]
     ) -> Generator[Event, object, None]:
         """Asynchronously write evicted dirty blocks to their homes."""
         node = self.cluster.nodes[node_id]
         # Background cluster activity: a new root span, not tied to the
         # request whose eviction triggered it (it outlives the request).
         span = self.tracer.start("writeback", node=node_id, n=len(blocks))
-        by_home: Dict[int, List[BlockId]] = defaultdict(list)
+        by_home: dict[int, list[BlockId]] = defaultdict(list)
         for blk in blocks:
             by_home[self.homes.home_of(blk.file_id)].append(blk)
+        # simlint: ordered -- keyed in the evicted-block list's order,
+        # which the eviction path produces deterministically.
         for home_id, blks in by_home.items():
             if self.faults.active and self.faults.is_down(home_id):
                 # The evicted copy is already gone from memory and its
@@ -1073,13 +1098,13 @@ class CoopCacheLayer:
             self.counters.incr("flushed_blocks", len(blks))
         span.finish()
 
-    def _oldest_peer(self, node_id: int, victim_age: float) -> Optional[int]:
+    def _oldest_peer(self, node_id: int, victim_age: float) -> int | None:
         """Peer holding the oldest block strictly older than the victim.
 
         None means the victim is the globally oldest block (or there are
         no peers) — per the paper, it is then simply dropped.
         """
-        best_id: Optional[int] = None
+        best_id: int | None = None
         best_age = victim_age
         for cache in self.caches:
             if cache.node_id == node_id:
@@ -1173,7 +1198,7 @@ class CoopCacheLayer:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
-    def hit_rates(self) -> Dict[str, float]:
+    def hit_rates(self) -> dict[str, float]:
         """Block-level local / remote / disk fractions (Figure 4)."""
         c = self.counters
         total = c.get("local_hit") + c.get("remote_hit") + c.get("disk_read")
@@ -1202,7 +1227,7 @@ class CoopCacheLayer:
         this at quiescent points (calendar drained) for the strict check
         that every entry is backed by a resident master.
         """
-        seen: Dict[BlockId, int] = {}
+        seen: dict[BlockId, int] = {}
         for cache in self.caches:
             if len(cache) > cache.capacity_blocks:
                 raise AssertionError(f"cache {cache.node_id} over capacity")
@@ -1212,6 +1237,9 @@ class CoopCacheLayer:
                         f"{blk} mastered at both {seen[blk]} and {cache.node_id}"
                     )
                 seen[blk] = cache.node_id
+        # simlint: ordered -- diagnostic cross-check; raises on the first
+        # inconsistency and mutates nothing, so order only affects which
+        # of several (already fatal) errors reports first.
         for blk, holder in seen.items():
             recorded = self.directory.lookup(blk)
             if recorded != holder:

@@ -20,7 +20,6 @@ what happens to the victim (drop vs forward) is protocol, implemented in
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 from ..cache.blockcache import BlockCache
 from ..cache.block import BlockId
@@ -28,15 +27,15 @@ from ..cache.block import BlockId
 __all__ = ["Victim", "select_victim", "POLICIES"]
 
 #: (block, age, is_master)
-Victim = Tuple[BlockId, float, bool]
+Victim = tuple[BlockId, float, bool]
 
 
-def _basic(cache: BlockCache) -> Optional[Victim]:
+def _basic(cache: BlockCache) -> Victim | None:
     """Local LRU over all resident blocks."""
     return cache.oldest()
 
 
-def _kmc(cache: BlockCache) -> Optional[Victim]:
+def _kmc(cache: BlockCache) -> Victim | None:
     """Oldest non-master if any non-master exists; else local LRU."""
     nm = cache.oldest_nonmaster()
     if nm is not None:
@@ -49,7 +48,7 @@ def _kmc(cache: BlockCache) -> Optional[Victim]:
 DEFAULT_HYBRID_BIAS_MS = 1_000.0
 
 
-def _hybrid(cache: BlockCache, bias_ms: float) -> Optional[Victim]:
+def _hybrid(cache: BlockCache, bias_ms: float) -> Victim | None:
     """KMC with an escape hatch for extremely cold masters.
 
     The paper notes KMC "is rather extreme; it leads to all memories
@@ -82,7 +81,7 @@ def select_victim(
     policy: str,
     cache: BlockCache,
     hybrid_bias_ms: float = DEFAULT_HYBRID_BIAS_MS,
-) -> Optional[Victim]:
+) -> Victim | None:
     """Choose the eviction victim for ``cache`` under ``policy``.
 
     Returns None for an empty cache.  Raises for unknown policy names so

@@ -20,9 +20,10 @@ runs it unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from collections.abc import Generator
 
 from ..cache.block import FileLayout
+from ..cache.directory import HomeMap
 from ..cache.lru import AgedLRU
 from ..cluster.cluster import Cluster
 from ..cluster.disk import DiskRequest
@@ -40,7 +41,7 @@ class WholeFileCache:
     __slots__ = ("node_id", "capacity_kb", "used_kb", "_masters",
                  "_replicas", "_sizes")
 
-    def __init__(self, node_id: int, capacity_kb: float):
+    def __init__(self, node_id: int, capacity_kb: float) -> None:
         if capacity_kb <= 0:
             raise ValueError("capacity must be positive")
         self.node_id = node_id
@@ -48,7 +49,7 @@ class WholeFileCache:
         self.used_kb = 0.0
         self._masters = AgedLRU()
         self._replicas = AgedLRU()
-        self._sizes: Dict[int, float] = {}
+        self._sizes: dict[int, float] = {}
 
     def __contains__(self, file_id: int) -> bool:
         return file_id in self._sizes
@@ -81,7 +82,7 @@ class WholeFileCache:
         self._sizes[file_id] = size_kb
         self.used_kb += size_kb
 
-    def remove(self, file_id: int) -> Tuple[float, bool]:
+    def remove(self, file_id: int) -> tuple[float, bool]:
         """Drop a resident file; returns (size_kb, was_master)."""
         size = self._sizes.pop(file_id)
         self.used_kb -= size
@@ -95,7 +96,7 @@ class WholeFileCache:
         """Age of the oldest resident file; +inf when empty."""
         return min(self._masters.oldest_age(), self._replicas.oldest_age())
 
-    def select_victim(self) -> Optional[Tuple[int, float, bool]]:
+    def select_victim(self) -> tuple[int, float, bool] | None:
         """KMC at file granularity: oldest replica first, else oldest
         master; (file_id, age, is_master) or None when empty."""
         rep = self._replicas.oldest()
@@ -118,22 +119,22 @@ class WholeFileCoopServer:
         self,
         cluster: Cluster,
         layout: FileLayout,
-        homes,
+        homes: HomeMap,
         capacity_kb: float,
-    ):
+    ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.params = cluster.params
         self.layout = layout
         self.homes = homes
-        self.caches: List[WholeFileCache] = [
+        self.caches: list[WholeFileCache] = [
             WholeFileCache(n.node_id, capacity_kb) for n in cluster.nodes
         ]
         #: file -> node currently holding the master copy.
-        self.directory: Dict[int, int] = {}
+        self.directory: dict[int, int] = {}
         self.counters = CounterSet()
         # file -> completion event of an in-flight fetch at (node, file).
-        self._inflight: Dict[Tuple[int, int], Event] = {}
+        self._inflight: dict[tuple[int, int], Event] = {}
 
     # ------------------------------------------------------------------
     def handle(self, node: Node, file_id: int) -> Generator[Event, object, str]:
@@ -206,7 +207,7 @@ class WholeFileCoopServer:
         self._install(node.node_id, file_id, master=True)
         return "disk"
 
-    def _extent_runs(self, file_id: int) -> List[DiskRequest]:
+    def _extent_runs(self, file_id: int) -> list[DiskRequest]:
         params = self.params
         nblocks = self.layout.num_blocks(file_id)
         bpe = params.extent_kb // params.block_kb
@@ -260,7 +261,7 @@ class WholeFileCoopServer:
         self.sim.process(self._forward(node_id, target, file_id, age, size_kb))
 
     def _oldest_peer(self, node_id: int, age: float,
-                     size_kb: float) -> Optional[int]:
+                     size_kb: float) -> int | None:
         best, best_age = None, age
         for cache in self.caches:
             if cache.node_id == node_id or not cache.fits(size_kb):
@@ -308,7 +309,7 @@ class WholeFileCoopServer:
         """Discard warm-up counters."""
         self.counters.reset()
 
-    def hit_rates(self) -> Dict[str, float]:
+    def hit_rates(self) -> dict[str, float]:
         """Block-weighted hit fractions (same denominator as the others)."""
         c = self.counters
         total = c.get("local_hit") + c.get("remote_hit") + c.get("disk_read")

@@ -6,7 +6,7 @@ Each function mirrors the figure API: run → structured data, plus a
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -64,7 +64,7 @@ def _default_mem() -> float:
 def a1_hints(
     accuracies: Sequence[float] = (1.0, 0.98, 0.95, 0.9, 0.7),
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
 ) -> dict:
     """Does the perfect-directory assumption matter?  Sarkar & Hartman's
     hint accuracy (~98%) should cost almost nothing."""
@@ -95,7 +95,7 @@ def a1_hints(
     }
 
 
-def render_a1(data: Optional[dict] = None, **kw) -> str:
+def render_a1(data: dict | None = None, **kw) -> str:
     """Print-ready A1."""
     data = data or a1_hints(**kw)
     rows = [
@@ -120,7 +120,7 @@ def render_a1(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a2_hotspot(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
     hot_fraction: float = 0.05,
     num_nodes: int = 8,
 ) -> dict:
@@ -168,7 +168,7 @@ def a2_hotspot(
     }
 
 
-def render_a2(data: Optional[dict] = None, **kw) -> str:
+def render_a2(data: dict | None = None, **kw) -> str:
     """Print-ready A2."""
     data = data or a2_hotspot(**kw)
     rows = [
@@ -189,7 +189,7 @@ def render_a2(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a3_wholefile(
     trace_name: str = "rutgers",
-    memories_mb: Optional[Sequence[float]] = None,
+    memories_mb: Sequence[float] | None = None,
     num_nodes: int = 8,
 ) -> dict:
     """Paper Section 6: is a whole-file adaptation of the middleware
@@ -224,7 +224,7 @@ def a3_wholefile(
     return {"trace": trace_name, "points": rows}
 
 
-def render_a3(data: Optional[dict] = None, **kw) -> str:
+def render_a3(data: dict | None = None, **kw) -> str:
     """Print-ready A3."""
     data = data or a3_wholefile(**kw)
     rows = [
@@ -245,7 +245,7 @@ def render_a3(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a4_disksched(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
 ) -> dict:
     """Isolate the CC-Basic -> CC-Sched step: FIFO vs SCAN disk queues
     for both replacement policies."""
@@ -268,7 +268,7 @@ def a4_disksched(
     return {"trace": trace_name, "mem_mb": mem, "points": rows}
 
 
-def render_a4(data: Optional[dict] = None, **kw) -> str:
+def render_a4(data: dict | None = None, **kw) -> str:
     """Print-ready A4."""
     data = data or a4_disksched(**kw)
     rows = [
@@ -289,7 +289,7 @@ def render_a4(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a5_lan(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
     configs: Sequence[str] = ("lan-100mb", "lan-1gb", "lan-10gb"),
 ) -> dict:
     """Paper Section 6: "this paper assumes a very specific set of
@@ -316,7 +316,7 @@ def a5_lan(
     return {"trace": trace_name, "mem_mb": mem, "points": rows}
 
 
-def render_a5(data: Optional[dict] = None, **kw) -> str:
+def render_a5(data: dict | None = None, **kw) -> str:
     """Print-ready A5."""
     data = data or a5_lan(**kw)
     rows = [
@@ -335,7 +335,7 @@ def render_a5(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a6_replacement(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
 ) -> dict:
     """Which ingredient buys what: policy (basic vs KMC) x forwarding
     (second chance on/off)."""
@@ -359,7 +359,7 @@ def a6_replacement(
     return {"trace": trace_name, "mem_mb": mem, "points": rows}
 
 
-def render_a6(data: Optional[dict] = None, **kw) -> str:
+def render_a6(data: dict | None = None, **kw) -> str:
     """Print-ready A6."""
     data = data or a6_replacement(**kw)
     rows = [
@@ -383,7 +383,7 @@ def render_a6(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a7_writes(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
     write_ratios: Sequence[float] = (0.0, 0.1, 0.3),
     num_nodes: int = 8,
 ) -> dict:
@@ -453,7 +453,7 @@ def _run_rw_point(trace, mem_mb, write_ratio, write_policy, num_nodes):
     }
 
 
-def render_a7(data: Optional[dict] = None, **kw) -> str:
+def render_a7(data: dict | None = None, **kw) -> str:
     """Print-ready A7."""
     data = data or a7_writes(**kw)
     rows = [
@@ -477,7 +477,7 @@ def render_a7(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a8_temporal(
     trace_name: str = "rutgers",
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
     alphas: Sequence[float] = (0.0, 0.2, 0.4),
     num_nodes: int = 8,
 ) -> dict:
@@ -523,7 +523,7 @@ def a8_temporal(
     return {"trace": trace_name, "mem_mb": mem, "points": rows}
 
 
-def render_a8(data: Optional[dict] = None, **kw) -> str:
+def render_a8(data: dict | None = None, **kw) -> str:
     """Print-ready A8."""
     data = data or a8_temporal(**kw)
     rows = [
@@ -547,7 +547,7 @@ def render_a8(data: Optional[dict] = None, **kw) -> str:
 # ---------------------------------------------------------------------------
 def a9_policies(
     trace_name: str = "rutgers",
-    memories_mb: Optional[Sequence[float]] = None,
+    memories_mb: Sequence[float] | None = None,
     num_nodes: int = 8,
 ) -> dict:
     """Paper Section 3/5: "the replacement policy of our current
@@ -572,7 +572,7 @@ def a9_policies(
     return {"trace": trace_name, "points": rows}
 
 
-def render_a9(data: Optional[dict] = None, **kw) -> str:
+def render_a9(data: dict | None = None, **kw) -> str:
     """Print-ready A9."""
     data = data or a9_policies(**kw)
     rows = [
@@ -596,7 +596,7 @@ def render_a9(data: Optional[dict] = None, **kw) -> str:
 def a10_faults(
     trace_name: str = "rutgers",
     crash_rates: Sequence[float] = (0.0, 1.0, 3.0),
-    mem_mb: Optional[float] = None,
+    mem_mb: float | None = None,
     num_nodes: int = 8,
     plan_seed: int = 1,
 ) -> dict:
@@ -658,7 +658,7 @@ def a10_faults(
     }
 
 
-def render_a10(data: Optional[dict] = None, **kw) -> str:
+def render_a10(data: dict | None = None, **kw) -> str:
     """Print-ready A10."""
     data = data or a10_faults(**kw)
     rows = []

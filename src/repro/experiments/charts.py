@@ -7,7 +7,7 @@ text, no plotting dependency — suitable for logs and CI output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 __all__ = ["line_chart", "bar_chart", "sparkline"]
 
@@ -24,10 +24,10 @@ def _scale(value: float, lo: float, hi: float, steps: int) -> int:
 
 def line_chart(
     x: Sequence[float],
-    series: Dict[str, Sequence[float]],
+    series: dict[str, Sequence[float]],
     width: int = 60,
     height: int = 16,
-    title: Optional[str] = None,
+    title: str | None = None,
     y_label: str = "",
     x_label: str = "",
 ) -> str:
@@ -66,7 +66,7 @@ def line_chart(
             grid[cy][cx] = glyph
             prev = (cx, cy)
 
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     top = f"{y_hi:,.4g}"
@@ -101,7 +101,7 @@ def line_chart(
 _SPARKS = " ▁▂▃▄▅▆▇█"
 
 
-def sparkline(values: Sequence[float], hi: Optional[float] = None) -> str:
+def sparkline(values: Sequence[float], hi: float | None = None) -> str:
     """One-line block-glyph series (for per-window time-series tables).
 
     ``hi`` fixes the scale top (so multiple sparklines compare); default
@@ -125,7 +125,7 @@ def bar_chart(
     labels: Sequence[str],
     values: Sequence[float],
     width: int = 50,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Horizontal bars, one per label (for Figure-4-style comparisons)."""
     if len(labels) != len(values):
@@ -134,7 +134,7 @@ def bar_chart(
         raise ValueError("need at least one bar")
     hi = max(values) or 1.0
     name_w = max(len(str(l)) for l in labels)
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     for label, value in zip(labels, values):

@@ -45,7 +45,7 @@ import argparse
 import json
 import logging
 import sys
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from . import ablations, defaults, figures, tables
 from .report import banner
@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 #: artifact name -> zero-argument renderer.
-ARTIFACTS: Dict[str, Callable[[], str]] = {
+ARTIFACTS: dict[str, Callable[[], str]] = {
     "table1": tables.render_table1,
     "table2": tables.render_table2,
     "fig1": figures.render_fig1,

@@ -19,7 +19,6 @@ Environment overrides::
 from __future__ import annotations
 
 import os
-from typing import List
 
 __all__ = [
     "SCALE",
@@ -31,7 +30,7 @@ __all__ = [
 ]
 
 #: The paper's per-node memory x-axis (MB), Figure 2.
-PAPER_MEMORY_MB: List[float] = [4, 8, 16, 32, 64, 128, 256, 512]
+PAPER_MEMORY_MB: list[float] = [4, 8, 16, 32, 64, 128, 256, 512]
 
 
 def _env_float(name: str, default: float) -> float:
@@ -54,7 +53,7 @@ else:
 NUM_CLIENTS: int = _env_int("REPRO_CLIENTS", 96)
 
 
-def memory_points_mb(points=None) -> List[float]:
+def memory_points_mb(points=None) -> list[float]:
     """The paper's memory axis, scaled to the active workload scale."""
     return [m * SCALE for m in (points or PAPER_MEMORY_MB)]
 

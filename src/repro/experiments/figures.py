@@ -11,7 +11,7 @@ All experiments honour the scale-down machinery in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ ALL_SYSTEMS = ["press"] + CC_VARIANTS
 # ---------------------------------------------------------------------------
 # Figure 1: trace popularity/size CDF
 # ---------------------------------------------------------------------------
-def fig1(trace_name: str = "rutgers", points: int = 20) -> Dict[str, list]:
+def fig1(trace_name: str = "rutgers", points: int = 20) -> dict[str, list]:
     """Figure 1: cumulative request fraction and cumulative file-set size
     vs files sorted by request frequency (Rutgers in the paper).
 
@@ -67,7 +67,7 @@ def fig1(trace_name: str = "rutgers", points: int = 20) -> Dict[str, list]:
     }
 
 
-def render_fig1(data: Optional[dict] = None) -> str:
+def render_fig1(data: dict | None = None) -> str:
     """Print-ready Figure 1."""
     data = data or fig1()
     rows = [
@@ -96,10 +96,10 @@ def render_fig1(data: Optional[dict] = None) -> str:
 # Figure 2: throughput, 8 nodes, all traces, all systems
 # ---------------------------------------------------------------------------
 def fig2(
-    trace_names: Optional[Sequence[str]] = None,
+    trace_names: Sequence[str] | None = None,
     num_nodes: int = 8,
-    memories_mb: Optional[Sequence[float]] = None,
-) -> Dict[str, dict]:
+    memories_mb: Sequence[float] | None = None,
+) -> dict[str, dict]:
     """Figure 2 (a-d): throughput of PRESS and the three middleware
     variants vs per-node memory, one panel per trace."""
     panels = {}
@@ -119,7 +119,7 @@ def fig2(
     return panels
 
 
-def render_fig2(data: Optional[dict] = None, **kw) -> str:
+def render_fig2(data: dict | None = None, **kw) -> str:
     """Print-ready Figure 2."""
     data = data or fig2(**kw)
     parts = []
@@ -157,9 +157,9 @@ FIG3_PANELS = [("calgary", 4), ("rutgers", 8)]
 
 
 def fig3(
-    panels: Optional[Sequence] = None,
-    memories_mb: Optional[Sequence[float]] = None,
-) -> Dict[str, dict]:
+    panels: Sequence | None = None,
+    memories_mb: Sequence[float] | None = None,
+) -> dict[str, dict]:
     """Figure 3: middleware throughput normalized against PRESS.
 
     The headline result: the KMC variant achieves >80% of PRESS almost
@@ -186,7 +186,7 @@ def fig3(
     return out
 
 
-def render_fig3(data: Optional[dict] = None) -> str:
+def render_fig3(data: dict | None = None) -> str:
     """Print-ready Figure 3."""
     data = data or fig3()
     parts = []
@@ -219,7 +219,7 @@ def render_fig3(data: Optional[dict] = None) -> str:
 def fig4(
     trace_name: str = "rutgers",
     num_nodes: int = 8,
-    memories_mb: Optional[Sequence[float]] = None,
+    memories_mb: Sequence[float] | None = None,
 ) -> dict:
     """Figure 4: total hit rate of CC-Basic, CC-KMC and PRESS, plus the
     local/remote split and the theoretical maximum."""
@@ -246,7 +246,7 @@ def fig4(
     }
 
 
-def render_fig4(data: Optional[dict] = None) -> str:
+def render_fig4(data: dict | None = None) -> str:
     """Print-ready Figure 4."""
     data = data or fig4()
     rows = []
@@ -287,9 +287,9 @@ def render_fig4(data: Optional[dict] = None) -> str:
 # Figure 5: mean response time normalized to PRESS
 # ---------------------------------------------------------------------------
 def fig5(
-    panels: Optional[Sequence] = None,
-    memories_mb: Optional[Sequence[float]] = None,
-) -> Dict[str, dict]:
+    panels: Sequence | None = None,
+    memories_mb: Sequence[float] | None = None,
+) -> dict[str, dict]:
     """Figure 5: middleware mean response time normalized against PRESS
     (the paper reports CC 5-10% worse; absolute times 2-3 ms wall)."""
     out = {}
@@ -314,7 +314,7 @@ def fig5(
     return out
 
 
-def render_fig5(data: Optional[dict] = None) -> str:
+def render_fig5(data: dict | None = None) -> str:
     """Print-ready Figure 5."""
     data = data or fig5()
     parts = []
@@ -352,7 +352,7 @@ def render_fig5(data: Optional[dict] = None) -> str:
 def fig6a(
     trace_name: str = "rutgers",
     num_nodes: int = 8,
-    memories_mb: Optional[Sequence[float]] = None,
+    memories_mb: Sequence[float] | None = None,
 ) -> dict:
     """Figure 6a: CC-KMC's disk/CPU/NIC utilization vs per-node memory."""
     trace = defaults.workload(trace_name)
@@ -371,7 +371,7 @@ def fig6a(
     }
 
 
-def render_fig6a(data: Optional[dict] = None) -> str:
+def render_fig6a(data: dict | None = None) -> str:
     """Print-ready Figure 6a."""
     data = data or fig6a()
     rows = [
@@ -433,7 +433,7 @@ def render_fig6a(data: Optional[dict] = None) -> str:
 def fig6b(
     trace_name: str = "rutgers",
     node_counts: Sequence[int] = (4, 8, 16, 32),
-    mem_mb_per_node: Optional[float] = None,
+    mem_mb_per_node: float | None = None,
 ) -> dict:
     """Figure 6b: CC-KMC throughput vs cluster size at 32 MB/node
     (scaled).  The paper reports near-linear scaling to 32 nodes."""
@@ -453,7 +453,7 @@ def fig6b(
     }
 
 
-def render_fig6b(data: Optional[dict] = None) -> str:
+def render_fig6b(data: dict | None = None) -> str:
     """Print-ready Figure 6b."""
     data = data or fig6b()
     base = data["throughput_rps"][0] or 1.0

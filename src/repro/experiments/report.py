@@ -7,7 +7,8 @@ EXPERIMENTS.md paper-vs-measured record.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Union
 
 __all__ = ["format_table", "format_kv", "banner"]
 
@@ -27,7 +28,7 @@ def _fmt(cell: Cell, ndigits: int) -> str:
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Cell]],
-    title: Optional[str] = None,
+    title: str | None = None,
     ndigits: int = 2,
 ) -> str:
     """Render an aligned ASCII table.
@@ -36,7 +37,7 @@ def format_table(
     decimals; ``None`` prints as ``-``.
     """
     raw_rows = [list(row) for row in rows]
-    str_rows: List[List[str]] = [
+    str_rows: list[list[str]] = [
         [_fmt(c, ndigits) for c in row] for row in raw_rows
     ]
     ncols = len(headers)
@@ -78,7 +79,7 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_kv(pairs, title: Optional[str] = None, ndigits: int = 3) -> str:
+def format_kv(pairs, title: str | None = None, ndigits: int = 3) -> str:
     """Render ``name: value`` pairs, aligned."""
     items = list(pairs.items() if hasattr(pairs, "items") else pairs)
     width = max((len(str(k)) for k, _ in items), default=0)

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, Union
 
 from ..cache.block import FileLayout
 from ..cache.directory import HomeMap
@@ -45,7 +44,7 @@ SYSTEMS = ("press", "cc-basic", "cc-sched", "cc-kmc")
 class ExperimentConfig:
     """One simulation point."""
 
-    system: Union[str, CoopCacheConfig]
+    system: str | CoopCacheConfig
     trace: Trace
     num_nodes: int = 8
     #: Per-node memory (MB) — the paper's x-axis (4-512 MB).
@@ -73,11 +72,11 @@ class ExperimentResult:
     config: ExperimentConfig
     workload: WorkloadResult
     #: Block-weighted local/remote/disk/total hit fractions (Figure 4).
-    hit_rates: Dict[str, float]
+    hit_rates: dict[str, float]
     #: Raw protocol counters for deeper analysis.
-    counters: Dict[str, int]
+    counters: dict[str, int]
     #: Fault/recovery counters (empty for fault-free runs).
-    fault_counters: Dict[str, int] = field(default_factory=dict)
+    fault_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:

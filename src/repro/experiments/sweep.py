@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Union
 
 from ..core.config import CoopCacheConfig
 from ..params import DEFAULT_PARAMS, SimParams
@@ -18,12 +19,12 @@ System = Union[str, CoopCacheConfig]
 def memory_sweep(
     trace: Trace,
     systems: Sequence[System],
-    memories_mb: Optional[Sequence[float]] = None,
+    memories_mb: Sequence[float] | None = None,
     num_nodes: int = 8,
-    num_clients: Optional[int] = None,
+    num_clients: int | None = None,
     params: SimParams = DEFAULT_PARAMS,
     home_strategy: str = "round_robin",
-) -> Dict[str, List[ExperimentResult]]:
+) -> dict[str, list[ExperimentResult]]:
     """Run every system at every per-node memory size.
 
     Returns ``{system_label: [result per memory point]}`` with the points
@@ -32,7 +33,7 @@ def memory_sweep(
     memories = list(memories_mb if memories_mb is not None
                     else defaults.memory_points_mb())
     clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
-    out: Dict[str, List[ExperimentResult]] = {}
+    out: dict[str, list[ExperimentResult]] = {}
     for system in systems:
         label = system if isinstance(system, str) else system_label(system)
         results = []
@@ -56,9 +57,9 @@ def node_sweep(
     system: System,
     node_counts: Iterable[int],
     mem_mb_per_node: float,
-    num_clients: Optional[int] = None,
+    num_clients: int | None = None,
     params: SimParams = DEFAULT_PARAMS,
-) -> List[ExperimentResult]:
+) -> list[ExperimentResult]:
     """Run one system across cluster sizes (Figure 6b)."""
     clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
     results = []

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
 
 from ..params import DEFAULT_PARAMS, SimParams
 from ..traces.analysis import table2_row
@@ -13,7 +12,7 @@ from .report import format_table
 __all__ = ["table1", "render_table1", "table2", "render_table2"]
 
 
-def table1(params: SimParams = DEFAULT_PARAMS) -> List[List[str]]:
+def table1(params: SimParams = DEFAULT_PARAMS) -> list[list[str]]:
     """Table 1 rows: (event, modeled time) — the reconstructed constants.
 
     Formulas are printed symbolically the way the paper does ("Size" in
@@ -56,7 +55,7 @@ def render_table1(params: SimParams = DEFAULT_PARAMS) -> str:
     )
 
 
-def table2(names: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+def table2(names: list[str] | None = None) -> dict[str, dict[str, float]]:
     """Table 2: characteristics of the four workloads at the active scale."""
     rows = {}
     for name in names or TRACE_NAMES:
@@ -64,7 +63,7 @@ def table2(names: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
     return rows
 
 
-def render_table2(names: Optional[List[str]] = None) -> str:
+def render_table2(names: list[str] | None = None) -> str:
     """Print-ready Table 2."""
     data = table2(names)
     rows = [

@@ -1,0 +1,34 @@
+"""simlint — determinism & cache-invariant static analysis for this repo.
+
+An AST-based lint suite whose rules encode the properties the golden
+traces, chaos replay, and CC-KMC invariant claims silently rely on:
+
+* **SL01** — no unordered set/dict iteration feeding simulation state
+* **SL02** — no wall-clock or ambient randomness outside ``repro.sim.rng``
+* **SL03** — no float ``==``/``!=`` on simulated time / byte quantities
+* **SL04** — cache-state mutations only through the census code path
+* **SL05** — no mutable default arguments
+* **SL00** — suppression hygiene (pragmas must carry a justification)
+
+Run it with ``python -m repro.lint [paths...]``; configuration lives in
+``[tool.simlint]`` in ``pyproject.toml``.  See DESIGN.md §16 for each
+rule's rationale.
+"""
+
+from .config import LintConfig, load_config
+from .engine import Finding, lint_paths, lint_source
+from .report import JSON_SCHEMA_VERSION, render_text, to_json_dict
+from .rules import all_rules, rule_catalog
+
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "render_text",
+    "to_json_dict",
+    "JSON_SCHEMA_VERSION",
+    "all_rules",
+    "rule_catalog",
+]

@@ -1,0 +1,88 @@
+"""``python -m repro.lint`` — run the simlint suite.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import textwrap
+from pathlib import Path
+from collections.abc import Sequence
+
+from .config import load_config
+from .engine import lint_paths
+from .report import render_text, to_json_dict
+from .rules import all_rules, rule_catalog
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: determinism & cache-invariant static analysis",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: [tool.simlint] paths)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format on stdout (default: text)")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, doc in rule_catalog():
+            head, _, rest = doc.partition("\n")
+            print(f"{rule_id}  {head}")
+            if rest.strip():
+                print(textwrap.indent(textwrap.dedent(rest).strip(), "      "))
+            print()
+        return 0
+
+    config = load_config()
+    rules = list(all_rules())
+    if args.select:
+        wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        known = {r.id for r in rules} | {"SL00"}
+        unknown = wanted - known
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.id in wanted]
+
+    paths: list[str] = list(args.paths) or list(config.paths)
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    findings, files_checked = lint_paths(paths, config, rules)
+    if files_checked == 0:
+        print("error: no python files found under the given paths",
+              file=sys.stderr)
+        return 2
+
+    doc = to_json_dict(findings, files_checked)
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(doc, indent=2) + "\n",
+                                       encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

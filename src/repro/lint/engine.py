@@ -1,0 +1,269 @@
+"""simlint rule engine: pragma parsing, visitor dispatch, file walking.
+
+The engine parses each file once (AST + token stream), builds a single
+node-type -> handlers dispatch table from the registered rules, and
+walks the tree once regardless of how many rules are active.  Rules
+never see files outside their configured path scope.
+
+Suppression contract (enforced — see :class:`~repro.lint.rules.SL00`):
+
+``# simlint: disable=SL01 -- reason``
+    Suppress the named rule(s) on this line.  The ``-- reason`` text is
+    mandatory; a bare suppression is itself a finding.
+
+``# simlint: ordered -- reason``
+    Assert that the iteration flagged by SL01 on this line visits a
+    container whose order is deterministic by construction (and say
+    why).  This is deliberately distinct from ``disable=SL01``: it
+    records a *proof obligation*, not an opt-out.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Iterable, Mapping, Sequence
+
+from .config import LintConfig
+
+__all__ = ["Finding", "FilePragmas", "LintContext", "Rule", "lint_source", "lint_paths"]
+
+_PRAGMA_RE = re.compile(r"#\s*simlint\s*:\s*(?P<body>[^#]*)")
+_RULE_ID_RE = re.compile(r"^SL\d{2}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class _Pragma:
+    line: int  # line the pragma governs (next code line for own-line comments)
+    src_line: int  # line the comment physically sits on (for SL00 reports)
+    kind: str  # "disable" | "ordered"
+    rules: tuple[str, ...]  # empty for "ordered"
+    justified: bool
+    malformed: str | None = None  # message when unparsable
+
+
+class FilePragmas:
+    """Per-line suppression / ordering pragmas for one file."""
+
+    def __init__(self, pragmas: Iterable[_Pragma]):
+        self._disable: dict[int, set[str]] = {}
+        self._ordered: set[int] = set()
+        self.raw: list[_Pragma] = list(pragmas)
+        for p in self.raw:
+            if p.malformed or not p.justified:
+                continue  # unusable pragmas never suppress anything
+            if p.kind == "disable":
+                self._disable.setdefault(p.line, set()).update(p.rules)
+            elif p.kind == "ordered":
+                self._ordered.add(p.line)
+
+    def disabled(self, rule_id: str, lines: Iterable[int]) -> bool:
+        return any(rule_id in self._disable.get(ln, ()) for ln in lines)
+
+    def ordered(self, lines: Iterable[int]) -> bool:
+        return any(ln in self._ordered for ln in lines)
+
+
+def _parse_pragmas(source: str) -> list[_Pragma]:
+    """Extract pragmas; an own-line pragma governs the next code line.
+
+    A pragma in a trailing comment applies to its own (logical start)
+    line.  A pragma on a comment-only line applies to the first
+    following line that holds code — the natural reading of a comment
+    placed above the construct it justifies, and the only ergonomic
+    option when the flagged line is already at the line-length limit.
+    """
+    src_lines = source.splitlines()
+
+    def _effective_line(line: int) -> int:
+        text = src_lines[line - 1].lstrip() if line <= len(src_lines) else ""
+        if not text.startswith("#"):
+            return line  # trailing comment: governs its own line
+        nxt = line + 1
+        while nxt <= len(src_lines):
+            following = src_lines[nxt - 1].strip()
+            if following and not following.startswith("#"):
+                return nxt
+            nxt += 1
+        return line
+
+    pragmas: list[_Pragma] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse fails first
+        return pragmas
+    for raw_line, text in comments:
+        line = _effective_line(raw_line)
+        m = _PRAGMA_RE.search(text)
+        if m is None:
+            continue
+        body = m.group("body").strip()
+        directive, sep, reason = body.partition("--")
+        directive = directive.strip()
+        justified = bool(sep) and bool(reason.strip())
+        if directive.startswith("disable"):
+            _, eq, spec = directive.partition("=")
+            rules = tuple(r.strip() for r in spec.split(",") if r.strip())
+            bad = [r for r in rules if not _RULE_ID_RE.match(r)]
+            if not eq or not rules or bad:
+                pragmas.append(_Pragma(line, raw_line, "disable", rules, justified,
+                                       malformed="disable pragma must name rules, "
+                                       "e.g. `# simlint: disable=SL01 -- reason`"))
+            else:
+                pragmas.append(_Pragma(line, raw_line, "disable", rules, justified))
+        elif directive == "ordered":
+            pragmas.append(_Pragma(line, raw_line, "ordered", (), justified))
+        else:
+            pragmas.append(_Pragma(line, raw_line, directive or "?", (), justified,
+                                   malformed=f"unknown simlint pragma {directive!r}"))
+    return pragmas
+
+
+class LintContext:
+    """Everything a rule needs about the file being checked."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 config: LintConfig, pragmas: FilePragmas):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.config = config
+        self.pragmas = pragmas
+        self.findings: list[Finding] = []
+        #: local alias -> imported module name ("np" -> "numpy")
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> fully qualified origin ("now" -> "datetime.datetime.now")
+        self.from_imports: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = \
+                        f"{node.module}.{alias.name}"
+
+    def node_lines(self, node: ast.AST) -> tuple[int, ...]:
+        """Lines a pragma may sit on to govern ``node``: its first line
+        and (for multi-line constructs) its last."""
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        return (first, last) if last != first else (first,)
+
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        """Record a finding unless a justified disable pragma covers it."""
+        if self.pragmas.disabled(rule_id, self.node_lines(node)):
+            return
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule_id,
+            message=message,
+        ))
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set ``id``, write the rationale in the class docstring
+    (surfaced by ``--list-rules``), and implement handlers named
+    ``visit_<NodeType>``; the engine dispatches on AST node type.
+    """
+
+    id: str = "SL??"
+
+    def handlers(self) -> Mapping[type[ast.AST], "list[object]"]:
+        out: dict[type[ast.AST], list[object]] = {}
+        for name in dir(self):
+            if not name.startswith("visit_"):
+                continue
+            node_type = getattr(ast, name[len("visit_"):], None)
+            if isinstance(node_type, type) and issubclass(node_type, ast.AST):
+                out.setdefault(node_type, []).append(getattr(self, name))
+        return out
+
+    def begin_file(self, ctx: LintContext) -> None:
+        """Hook called once per file before the walk (optional)."""
+
+
+def lint_source(path: str, source: str, config: LintConfig,
+                rules: Sequence[Rule]) -> list[Finding]:
+    """Lint one file's source text; returns sorted findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return [Finding(path, line, (exc.offset or 0) + 1, "SL00",
+                        f"file does not parse: {exc.msg}")]
+    pragmas = FilePragmas(_parse_pragmas(source))
+    ctx = LintContext(path, source, tree, config, pragmas)
+
+    active = [r for r in rules if config.rule_applies(r.id, path)]
+    dispatch: dict[type[ast.AST], list[object]] = {}
+    for rule in active:
+        rule.begin_file(ctx)
+        for node_type, fns in rule.handlers().items():
+            dispatch.setdefault(node_type, []).extend(fns)
+
+    if dispatch:
+        for node in ast.walk(tree):
+            for fn in dispatch.get(type(node), ()):
+                fn(node, ctx)  # type: ignore[operator]
+
+    # Suppression hygiene (SL00) runs last so it also covers pragmas
+    # attached to lines no rule visited.
+    for p in pragmas.raw:
+        if p.malformed:
+            ctx.findings.append(Finding(path, p.src_line, 1, "SL00", p.malformed))
+        elif not p.justified:
+            ctx.findings.append(Finding(
+                path, p.src_line, 1, "SL00",
+                "suppression lacks a justification: append `-- <reason>`"))
+    return sorted(ctx.findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            for f in sorted(path.rglob("*.py")):
+                seen.setdefault(f, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return sorted(seen)
+
+
+def lint_paths(paths: Iterable[str], config: LintConfig,
+               rules: Sequence[Rule]) -> tuple[list[Finding], int]:
+    """Lint every ``*.py`` under ``paths``; returns (findings, files_checked)."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for f in files:
+        rel = f.as_posix()
+        findings.extend(lint_source(rel, f.read_text(encoding="utf-8"),
+                                    config, rules))
+    return sorted(findings, key=Finding.sort_key), len(files)

@@ -18,7 +18,6 @@ regression workflow.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from .cachestats import NULL_CACHESCOPE, CacheScope, NullCacheScope
 from .invariants import InvariantSampler
@@ -75,7 +74,7 @@ class Observability:
         self,
         trace: bool = True,
         invariant_every: int = 0,
-        registry: Optional[MetricsRegistry] = None,
+        registry: MetricsRegistry | None = None,
         profile: bool = False,
         cachestats: bool = False,
         cachestats_window_ms: float = 100.0,
@@ -91,7 +90,7 @@ class Observability:
         )
         self.invariant_every = invariant_every
         #: Set by the runner when sampling is active (for introspection).
-        self.sampler: Optional[InvariantSampler] = None
+        self.sampler: InvariantSampler | None = None
 
     def attach(self, sim) -> None:
         """Bind time-dependent pieces to a simulator's clock."""

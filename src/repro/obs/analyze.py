@@ -27,7 +27,8 @@ import json
 import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
+from typing import Any
 
 from .profile import PHASE_SPAN
 
@@ -48,7 +49,7 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 #: Canonical display order of attribution phases.
-PHASE_ORDER: Tuple[str, ...] = (
+PHASE_ORDER: tuple[str, ...] = (
     "router",
     "cpu.queue", "cpu.service",
     "nic.queue", "nic.service",
@@ -73,10 +74,10 @@ class SpanNode:
 
     __slots__ = ("rec", "parent", "children")
 
-    def __init__(self, rec: Dict[str, Any]):
+    def __init__(self, rec: dict[str, Any]):
         self.rec = rec
-        self.parent: Optional["SpanNode"] = None
-        self.children: List["SpanNode"] = []
+        self.parent: "SpanNode" | None = None
+        self.children: list["SpanNode"] = []
 
     @property
     def span_id(self) -> int:
@@ -87,7 +88,7 @@ class SpanNode:
         return self.rec["trace"]
 
     @property
-    def parent_id(self) -> Optional[int]:
+    def parent_id(self) -> int | None:
         return self.rec.get("parent")
 
     @property
@@ -95,7 +96,7 @@ class SpanNode:
         return self.rec["name"]
 
     @property
-    def node(self) -> Optional[int]:
+    def node(self) -> int | None:
         return self.rec.get("node")
 
     @property
@@ -103,17 +104,17 @@ class SpanNode:
         return self.rec["start"]
 
     @property
-    def end(self) -> Optional[float]:
+    def end(self) -> float | None:
         return self.rec.get("end")
 
     @property
-    def dur(self) -> Optional[float]:
+    def dur(self) -> float | None:
         """Duration in ms, or None for unfinished spans."""
         end = self.end
         return None if end is None else end - self.start
 
     @property
-    def attrs(self) -> Dict[str, Any]:
+    def attrs(self) -> dict[str, Any]:
         return self.rec.get("attrs", {})
 
     @property
@@ -127,7 +128,7 @@ class SpanNode:
             yield from child.walk()
 
 
-def load_jsonl(path) -> List[Dict[str, Any]]:
+def load_jsonl(path) -> list[dict[str, Any]]:
     """Read a tracer JSONL file into a list of span records."""
     records = []
     with open(path, "r", encoding="utf-8") as fp:
@@ -139,18 +140,18 @@ def load_jsonl(path) -> List[Dict[str, Any]]:
 
 
 def build_trees(
-    records: Iterable[Dict[str, Any]],
-) -> Tuple[List[SpanNode], Dict[int, SpanNode]]:
+    records: Iterable[dict[str, Any]],
+) -> tuple[list[SpanNode], dict[int, SpanNode]]:
     """Wire span records into trees; returns (roots, index by span id).
 
     Children are ordered by (start, span id); records whose parent is
     missing from the trace become roots (robust to partial dumps).
     """
-    index: Dict[int, SpanNode] = {}
+    index: dict[int, SpanNode] = {}
     for rec in records:
         node = SpanNode(rec)
         index[node.span_id] = node
-    roots: List[SpanNode] = []
+    roots: list[SpanNode] = []
     for node in index.values():
         pid = node.parent_id
         parent = index.get(pid) if pid is not None else None
@@ -167,7 +168,7 @@ def build_trees(
 
 def request_roots(
     roots: Iterable[SpanNode], measured_only: bool = False
-) -> List[SpanNode]:
+) -> list[SpanNode]:
     """Finished per-request root spans (``client`` or ``request``).
 
     ``measured_only`` keeps roots whose ``measured`` attr is true (or
@@ -202,7 +203,7 @@ def _contains(p: SpanNode, c: SpanNode) -> bool:
     )
 
 
-def _decompose_span(span: SpanNode, phases: Dict[str, float]) -> None:
+def _decompose_span(span: SpanNode, phases: dict[str, float]) -> None:
     """Attribute ``span``'s duration into ``phases`` via its children.
 
     Serial children (phases and sub-spans not inside any phase interval)
@@ -226,7 +227,7 @@ def _decompose_span(span: SpanNode, phases: Dict[str, float]) -> None:
         phases["other"] += leftover
 
 
-def _attribute_phase(p: SpanNode, phases: Dict[str, float]) -> None:
+def _attribute_phase(p: SpanNode, phases: dict[str, float]) -> None:
     """Assign one phase span's duration to named attribution buckets."""
     attrs = p.attrs
     name = attrs.get("p", "other")
@@ -257,7 +258,7 @@ def _attribute_phase(p: SpanNode, phases: Dict[str, float]) -> None:
         phases["other"] += dur
 
 
-def _refine_fetch(p: SpanNode, phases: Dict[str, float]) -> None:
+def _refine_fetch(p: SpanNode, phases: dict[str, float]) -> None:
     """Decompose a parallel fan-out wait along its critical path.
 
     The fetch spans spawned during the wait are siblings of ``p`` under
@@ -316,11 +317,11 @@ class RequestProfile:
 
     trace_id: int
     root_name: str
-    node: Optional[int]
-    cls: Optional[str]
+    node: int | None
+    cls: str | None
     start: float
     dur: float
-    phases: Dict[str, float] = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
 
     @property
     def residual(self) -> float:
@@ -330,7 +331,7 @@ class RequestProfile:
 
 def decompose_request(root: SpanNode) -> RequestProfile:
     """Phase decomposition of one finished request root span."""
-    phases: Dict[str, float] = defaultdict(float)
+    phases: dict[str, float] = defaultdict(float)
     _decompose_span(root, phases)
     return RequestProfile(
         trace_id=root.trace_id,
@@ -347,7 +348,7 @@ def decompose_request(root: SpanNode) -> RequestProfile:
 class Attribution:
     """Aggregate phase attribution over a set of requests."""
 
-    requests: List[RequestProfile]
+    requests: list[RequestProfile]
 
     @property
     def count(self) -> int:
@@ -360,11 +361,11 @@ class Attribution:
             return 0.0
         return sum(r.dur for r in self.requests) / len(self.requests)
 
-    def phase_means(self) -> Dict[str, float]:
+    def phase_means(self) -> dict[str, float]:
         """Mean per-request contribution of each phase (ms)."""
         if not self.requests:
             return {}
-        sums: Dict[str, float] = defaultdict(float)
+        sums: dict[str, float] = defaultdict(float)
         for r in self.requests:
             for phase, ms in r.phases.items():
                 sums[phase] += ms
@@ -378,16 +379,16 @@ class Attribution:
             return 0.0
         return sum(r.residual for r in self.requests) / len(self.requests)
 
-    def by_class(self) -> Dict[str, "Attribution"]:
+    def by_class(self) -> dict[str, "Attribution"]:
         """Per-service-class sub-attributions ("local"/"remote"/...)."""
-        groups: Dict[str, List[RequestProfile]] = defaultdict(list)
+        groups: dict[str, list[RequestProfile]] = defaultdict(list)
         for r in self.requests:
             groups[r.cls or "?"].append(r)
         return {cls: Attribution(reqs) for cls, reqs in sorted(groups.items())}
 
 
 def attribute(
-    records: Iterable[Dict[str, Any]], measured_only: bool = True
+    records: Iterable[dict[str, Any]], measured_only: bool = True
 ) -> Attribution:
     """Full-trace attribution: one :class:`RequestProfile` per request.
 
@@ -408,7 +409,7 @@ def attribute(
 RESOURCE_CLASSES = ("cpu", "nic", "bus", "disk")
 
 
-def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+def binding_resource(metrics: dict[str, Any]) -> dict[str, Any] | None:
     """Name the binding resource from a metrics snapshot.
 
     Scans ``collected`` entries shaped ``node<N>.<resource>`` for their
@@ -421,7 +422,7 @@ def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
 
     Returns None when the snapshot has no per-node utilizations.
     """
-    per: Dict[str, List[Tuple[str, float]]] = defaultdict(list)
+    per: dict[str, list[tuple[str, float]]] = defaultdict(list)
     for key, vals in metrics.get("collected", {}).items():
         if "." not in key or not isinstance(vals, dict):
             continue
@@ -430,7 +431,7 @@ def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
             per[resource].append((node_part, float(vals["utilization"])))
     if not per:
         return None
-    per_resource: Dict[str, Dict[str, Any]] = {}
+    per_resource: dict[str, dict[str, Any]] = {}
     for resource, samples in per.items():
         max_node, max_util = max(samples, key=lambda s: (s[1], s[0]))
         per_resource[resource] = {
@@ -450,15 +451,15 @@ def binding_resource(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
 
 
 def attribution_to_dict(
-    attr: Attribution, metrics: Optional[Dict[str, Any]] = None
-) -> Dict[str, Any]:
+    attr: Attribution, metrics: dict[str, Any] | None = None
+) -> dict[str, Any]:
     """Machine-readable attribution/bottleneck summary (``analyze --json``).
 
     The same quantities :func:`repro.obs.reports.render_profile_report`
     prints, as one JSON-ready dict CI and ``repro.bench.compare`` can
     consume without scraping tables.
     """
-    out: Dict[str, Any] = {
+    out: dict[str, Any] = {
         "schema_version": 1,
         "requests": attr.count,
         "mean_response_ms": attr.mean_response_ms,

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from ..sim.stats import WindowedSeries
 
@@ -86,11 +86,11 @@ class CacheScope:
         self._layout = None
         self._directory = None
         # -- census (kept incrementally; one code path via the caches) --
-        self._copies: Dict[Any, int] = {}
-        self._copy_kb: Dict[Any, float] = {}
-        self._node_masters: Dict[int, int] = {}
-        self._node_nonmasters: Dict[int, int] = {}
-        self._node_kb: Dict[int, float] = {}
+        self._copies: dict[Any, int] = {}
+        self._copy_kb: dict[Any, float] = {}
+        self._node_masters: dict[int, int] = {}
+        self._node_nonmasters: dict[int, int] = {}
+        self._node_kb: dict[int, float] = {}
         self.resident_copies = 0
         self.resident_kb = 0.0
         self.duplicate_copies = 0
@@ -100,15 +100,15 @@ class CacheScope:
         self._dup_kb_series = WindowedSeries(self.window_ms)
         self._total_kb_series = WindowedSeries(self.window_ms)
         # -- explanatory counters + per-window point events --
-        self._counts: Dict[str, int] = {}
-        self._by_reason: Dict[str, int] = {}
-        self._forward_outcomes: Dict[str, int] = {}
-        self._events: Dict[str, WindowedSeries] = {
+        self._counts: dict[str, int] = {}
+        self._by_reason: dict[str, int] = {}
+        self._forward_outcomes: dict[str, int] = {}
+        self._events: dict[str, WindowedSeries] = {
             name: WindowedSeries(self.window_ms) for name in _EVENT_SERIES
         }
         # -- forwarding-hop tracking --
-        self._hops: Dict[Any, int] = {}
-        self._hop_hist: Dict[int, int] = {}
+        self._hops: dict[Any, int] = {}
+        self._hop_hist: dict[int, int] = {}
         # -- eviction provenance ring buffer --
         self.ledger: deque = deque(maxlen=ledger_size)
 
@@ -130,7 +130,7 @@ class CacheScope:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _kb_of(self, key: Any, kb: Optional[float]) -> float:
+    def _kb_of(self, key: Any, kb: float | None) -> float:
         if kb is not None:
             return kb
         if self._layout is not None and isinstance(key, tuple):
@@ -156,7 +156,7 @@ class CacheScope:
     # ------------------------------------------------------------------
     def on_insert(
         self, node_id: int, key: Any, master: bool,
-        kb: Optional[float] = None,
+        kb: float | None = None,
     ) -> None:
         """A copy of ``key`` became resident at ``node_id``."""
         now = self._clock()
@@ -182,7 +182,7 @@ class CacheScope:
 
     def on_remove(
         self, node_id: int, key: Any, master: bool,
-        kb: Optional[float] = None,
+        kb: float | None = None,
     ) -> None:
         """A copy of ``key`` left ``node_id``'s memory."""
         now = self._clock()
@@ -233,7 +233,7 @@ class CacheScope:
     # ------------------------------------------------------------------
     def on_evict(
         self, node_id: int, key: Any, master: bool, nonmasters_held: int,
-        reason: str, dest: Optional[int] = None,
+        reason: str, dest: int | None = None,
     ) -> None:
         """Record one eviction with its provenance.
 
@@ -317,7 +317,7 @@ class CacheScope:
         """Master-evicted-while-non-master-held count so far."""
         return self._counts.get("violations", 0)
 
-    def per_node_census(self) -> Dict[int, Dict[str, float]]:
+    def per_node_census(self) -> dict[int, dict[str, float]]:
         """Resident masters / non-masters / KB per node id."""
         nodes = (
             set(self._node_masters) | set(self._node_nonmasters)
@@ -332,7 +332,7 @@ class CacheScope:
             for n in sorted(nodes)
         }
 
-    def _window_rows(self) -> List[Dict[str, Any]]:
+    def _window_rows(self) -> list[dict[str, Any]]:
         self._advance(self._clock())
         series = [self._dup_kb_series, self._total_kb_series]
         series += list(self._events.values())
@@ -340,11 +340,11 @@ class CacheScope:
                     default=0)
         last = max((s.window_range()[1] for s in series if not s.empty),
                    default=-1)
-        rows: List[Dict[str, Any]] = []
+        rows: list[dict[str, Any]] = []
         for idx in range(first, last + 1):
             total = self._total_kb_series.values(idx, idx)[0]
             dup = self._dup_kb_series.values(idx, idx)[0]
-            row: Dict[str, Any] = {
+            row: dict[str, Any] = {
                 "t_ms": self._total_kb_series.window_start(idx),
                 "duplicate_share": (dup / total) if total > 0.0 else 0.0,
                 "resident_kb_mean": total / self.window_ms,
@@ -354,9 +354,9 @@ class CacheScope:
             rows.append(row)
         return rows
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """The full telemetry state as one JSON-ready dict."""
-        totals: Dict[str, Any] = {
+        totals: dict[str, Any] = {
             "resident_copies": self.resident_copies,
             "resident_kb": round(self.resident_kb, 6),
             "distinct_blocks": len(self._copies),
@@ -419,7 +419,7 @@ class CacheScope:
     # ------------------------------------------------------------------
     # consistency (tests / debugging)
     # ------------------------------------------------------------------
-    def census_drift(self, caches) -> List[str]:
+    def census_drift(self, caches) -> list[str]:
         """Mismatches between the incremental census and ``caches``.
 
         Empty when the bookkeeping agrees with ground truth; each entry
@@ -427,7 +427,7 @@ class CacheScope:
         ``stats()`` snapshot (``BlockCache``) so the scope never reaches
         into private dicts.
         """
-        problems: List[str] = []
+        problems: list[str] = []
         for cache in caches:
             st = cache.stats()
             nid = st["node"]
@@ -496,10 +496,10 @@ class NullCacheScope:
 NULL_CACHESCOPE = NullCacheScope()
 
 
-def load_jsonl(path) -> Dict[str, Any]:
+def load_jsonl(path) -> dict[str, Any]:
     """Re-assemble a :meth:`CacheScope.dump_jsonl` file into a snapshot
     dict (the shape :meth:`CacheScope.snapshot` returns)."""
-    snap: Dict[str, Any] = {
+    snap: dict[str, Any] = {
         "window_ms": 0.0, "totals": {}, "per_node": {},
         "hop_histogram": {}, "windows": [], "ledger": [],
     }

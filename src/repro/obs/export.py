@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import json
 import logging
-from typing import Any, Dict, Iterable, List
+from collections.abc import Iterable
+from typing import Any
 
 from .profile import PHASE_SPAN
 
@@ -51,12 +52,12 @@ _PHASE_LANE = {
 _CLUSTER_PID = 0
 
 
-def _pid(rec: Dict[str, Any]) -> int:
+def _pid(rec: dict[str, Any]) -> int:
     node = rec.get("node")
     return _CLUSTER_PID if node is None else int(node) + 1
 
 
-def _lane(rec: Dict[str, Any]) -> str:
+def _lane(rec: dict[str, Any]) -> str:
     if rec["name"] == PHASE_SPAN:
         phase = rec.get("attrs", {}).get("p", "")
         return _PHASE_LANE.get(phase, "wait")
@@ -65,18 +66,18 @@ def _lane(rec: Dict[str, Any]) -> str:
     return "protocol"
 
 
-def _event_name(rec: Dict[str, Any]) -> str:
+def _event_name(rec: dict[str, Any]) -> str:
     if rec["name"] == PHASE_SPAN:
         return rec.get("attrs", {}).get("p", PHASE_SPAN)
     cls = rec.get("attrs", {}).get("cls")
     return f"{rec['name']}:{cls}" if cls else rec["name"]
 
 
-def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """Convert tracer span records to a Chrome trace-event dict."""
-    events: List[Dict[str, Any]] = []
-    pids: Dict[int, str] = {}
-    lanes_used: Dict[int, set] = {}
+    events: list[dict[str, Any]] = []
+    pids: dict[int, str] = {}
+    lanes_used: dict[int, set] = {}
     skipped_unfinished = 0
 
     for rec in records:
@@ -110,7 +111,7 @@ def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             base["s"] = "t"
         events.append(base)
 
-    meta: List[Dict[str, Any]] = []
+    meta: list[dict[str, Any]] = []
     for pid in sorted(pids):
         meta.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
@@ -131,7 +132,7 @@ def to_chrome_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     }
 
 
-def dump_chrome_trace(records: Iterable[Dict[str, Any]], path) -> None:
+def dump_chrome_trace(records: Iterable[dict[str, Any]], path) -> None:
     """Write the Chrome trace-event JSON for ``records`` to ``path``."""
     with open(path, "w", encoding="utf-8") as fp:
         json.dump(to_chrome_trace(records), fp, sort_keys=True, default=float)

@@ -15,7 +15,7 @@ run.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["InvariantSampler"]
 

@@ -24,7 +24,8 @@ Snapshots are plain nested dicts with deterministically sorted keys, so
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..sim.stats import ReservoirQuantiles
 
@@ -38,7 +39,7 @@ __all__ = [
 
 #: Default histogram bucket upper bounds (ms), log-ish spaced to cover a
 #: disk seek (~10 ms) up to badly queued responses (seconds).
-DEFAULT_BUCKETS_MS: Tuple[float, ...] = (
+DEFAULT_BUCKETS_MS: tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
     1_000.0, 2_000.0, 5_000.0, 10_000.0,
 )
@@ -65,7 +66,7 @@ class Gauge:
 
     __slots__ = ("name", "_value", "_fn")
 
-    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
         self.name = name
         self._value: float = 0.0
         self._fn = fn
@@ -103,7 +104,7 @@ class Histogram:
         self.name = name
         self.bounds = bounds
         #: Weighted count per bucket; the last bucket is the +inf overflow.
-        self.counts: List[float] = [0.0] * (len(bounds) + 1)
+        self.counts: list[float] = [0.0] * (len(bounds) + 1)
         #: Unweighted number of observations.
         self.count = 0
         #: Weighted sum of observed values.
@@ -141,7 +142,7 @@ class Histogram:
         """Approximate unweighted q-quantile of observed values."""
         return self._quantiles.quantile(q)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """Bucket table plus summary moments, deterministic key order."""
         buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
         buckets["le_inf"] = self.counts[-1]
@@ -165,10 +166,10 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._collectors: Dict[str, Callable[[], Dict[str, Any]]] = {}
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict[str, Any]]] = {}
 
     # -- instrument factories (get-or-create) -------------------------------
     def counter(self, name: str) -> Counter:
@@ -179,7 +180,7 @@ class MetricsRegistry:
         return c
 
     def gauge(
-        self, name: str, fn: Optional[Callable[[], float]] = None
+        self, name: str, fn: Callable[[], float] | None = None
     ) -> Gauge:
         """The gauge called ``name``; ``fn`` makes it callback-backed."""
         g = self._gauges.get(name)
@@ -197,7 +198,7 @@ class MetricsRegistry:
         return h
 
     def register_collector(
-        self, prefix: str, fn: Callable[[], Dict[str, Any]]
+        self, prefix: str, fn: Callable[[], dict[str, Any]]
     ) -> None:
         """Register ``fn`` whose dict is merged under ``prefix`` at
         snapshot time — how components with existing counter bundles
@@ -208,7 +209,7 @@ class MetricsRegistry:
         self._collectors[prefix] = fn
 
     # -- export -------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self) -> dict[str, Any]:
         """Deterministic nested dict of every instrument's current state."""
         return {
             "counters": {
@@ -229,7 +230,7 @@ class MetricsRegistry:
             },
         }
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
+    def to_json(self, indent: int | None = 2) -> str:
         """Snapshot as deterministic JSON (sorted keys, stable floats)."""
         return json.dumps(
             self.snapshot(), indent=indent, sort_keys=True, default=float

@@ -22,7 +22,8 @@ off:
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from .tracing import Span, Tracer
 
@@ -50,8 +51,8 @@ class Profiler:
 
     def wait(
         self,
-        parent: Optional[Span],
-        node: Optional[int],
+        parent: Span | None,
+        node: int | None,
         phase: str,
         event,
         **attrs: Any,
@@ -78,8 +79,8 @@ class Profiler:
 
     def disk_wait(
         self,
-        parent: Optional[Span],
-        node: Optional[int],
+        parent: Span | None,
+        node: int | None,
         event,
         runs: Iterable,
         **attrs: Any,

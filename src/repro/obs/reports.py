@@ -13,7 +13,8 @@ Three renderers, all plain text (terminal / CI-log friendly):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..experiments.charts import line_chart, sparkline
 from ..experiments.report import format_table
@@ -37,7 +38,7 @@ __all__ = [
 ]
 
 
-def _ordered_phases(means: Dict[str, float]) -> List[str]:
+def _ordered_phases(means: dict[str, float]) -> list[str]:
     """Phases in canonical order, then any unknown ones alphabetically."""
     known = [p for p in PHASE_ORDER if p in means]
     extra = sorted(set(means) - set(PHASE_ORDER))
@@ -64,11 +65,11 @@ def _phase_table(attr: Attribution, title: str) -> str:
 
 def render_profile_report(
     attr: Attribution,
-    metrics: Optional[Dict[str, Any]] = None,
+    metrics: dict[str, Any] | None = None,
     per_class: bool = True,
 ) -> str:
     """The bottleneck report for one attributed run."""
-    parts: List[str] = []
+    parts: list[str] = []
     if not attr.count:
         return ("no finished request roots in trace "
                 "(was the run profiled with --profile?)")
@@ -107,7 +108,7 @@ def render_profile_report(
     else:
         # No metrics: name the dominant phase group instead.
         means = attr.phase_means()
-        groups: Dict[str, float] = {}
+        groups: dict[str, float] = {}
         for phase, ms in means.items():
             groups[phase.split(".", 1)[0]] = (
                 groups.get(phase.split(".", 1)[0], 0.0) + ms
@@ -149,7 +150,7 @@ def _span_label(node: SpanNode) -> str:
 
 def format_span_tree(root: SpanNode, max_depth: int = 8) -> str:
     """Indented one-line-per-span rendering of a trace tree."""
-    lines: List[str] = []
+    lines: list[str] = []
 
     def visit(node: SpanNode, depth: int) -> None:
         lines.append("  " * depth + _span_label(node))
@@ -166,7 +167,7 @@ def format_span_tree(root: SpanNode, max_depth: int = 8) -> str:
 
 
 def render_top_requests(
-    records: Iterable[Dict[str, Any]], k: int = 10,
+    records: Iterable[dict[str, Any]], k: int = 10,
     measured_only: bool = True,
 ) -> str:
     """The K slowest requests, each with its span tree."""
@@ -175,7 +176,7 @@ def render_top_requests(
     if not reqs:
         return "no finished request roots in trace"
     slowest = sorted(reqs, key=lambda r: (-(r.dur or 0.0), r.span_id))[:k]
-    parts: List[str] = [f"top {len(slowest)} slowest requests"]
+    parts: list[str] = [f"top {len(slowest)} slowest requests"]
     for rank, root in enumerate(slowest, 1):
         profile = decompose_request(root)
         top_phases = sorted(
@@ -194,13 +195,13 @@ def render_top_requests(
 # ---------------------------------------------------------------------------
 # time series rendering
 # ---------------------------------------------------------------------------
-def render_timeseries(ts: Dict[str, Any]) -> str:
+def render_timeseries(ts: dict[str, Any]) -> str:
     """Charts + sparklines for a :func:`build_timeseries` result."""
     windows = ts.get("windows", [])
     if not windows:
         return "no windows (empty trace)"
     x = [w["t_ms"] for w in windows]
-    parts: List[str] = []
+    parts: list[str] = []
 
     throughput = [w["throughput_rps"] for w in windows]
     parts.append(line_chart(
@@ -242,7 +243,7 @@ def render_timeseries(ts: Dict[str, Any]) -> str:
 # ---------------------------------------------------------------------------
 # cache-behavior report (CacheScope)
 # ---------------------------------------------------------------------------
-def render_cache_report(snap: Dict[str, Any], ledger_tail: int = 10) -> str:
+def render_cache_report(snap: dict[str, Any], ledger_tail: int = 10) -> str:
     """Tables + sparklines for a CacheScope snapshot.
 
     ``snap`` is :meth:`~repro.obs.cachestats.CacheScope.snapshot` (or a
@@ -252,7 +253,7 @@ def render_cache_report(snap: Dict[str, Any], ledger_tail: int = 10) -> str:
     while replicas were still around to evict instead.
     """
     totals = snap.get("totals", {})
-    parts: List[str] = []
+    parts: list[str] = []
 
     summary_rows = [
         ("resident copies", totals.get("resident_copies", 0)),

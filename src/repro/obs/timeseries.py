@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import json
 import logging
-from typing import Any, Dict, Iterable, List, Optional
+from collections.abc import Iterable
+from typing import Any
 
 from ..sim.stats import WindowedSeries
 from .analyze import build_trees, request_roots
@@ -38,7 +39,7 @@ _RESOURCES = ("cpu", "nic", "bus", "disk")
 _DEFAULT_WINDOWS = 60
 
 
-def _infer_warm_start(roots) -> Optional[float]:
+def _infer_warm_start(roots) -> float | None:
     """Earliest start among measured client roots, if warm-up is marked."""
     marked = [r for r in roots if "measured" in r.attrs]
     if not marked:
@@ -48,9 +49,9 @@ def _infer_warm_start(roots) -> Optional[float]:
 
 
 def build_timeseries(
-    records: Iterable[Dict[str, Any]],
-    window_ms: Optional[float] = None,
-) -> Dict[str, Any]:
+    records: Iterable[dict[str, Any]],
+    window_ms: float | None = None,
+) -> dict[str, Any]:
     """Aggregate a trace into a JSON-ready windowed time series."""
     roots, index = build_trees(records)
     reqs = request_roots(roots)
@@ -67,7 +68,7 @@ def build_timeseries(
     warm_start = _infer_warm_start(reqs)
 
     throughput = WindowedSeries(window_ms)
-    by_class: Dict[str, WindowedSeries] = {}
+    by_class: dict[str, WindowedSeries] = {}
     busy = {res: WindowedSeries(window_ms) for res in _RESOURCES}
     queued = {res: WindowedSeries(window_ms) for res in _RESOURCES}
 
@@ -96,7 +97,7 @@ def build_timeseries(
 
     first = 0
     last = max(throughput.window_range()[1], int(t_end // window_ms))
-    windows: List[Dict[str, Any]] = []
+    windows: list[dict[str, Any]] = []
     for idx in range(first, last + 1):
         t0 = throughput.window_start(idx)
         completions = throughput.values(idx, idx)[0]
@@ -127,7 +128,7 @@ def build_timeseries(
     }
 
 
-def dump_timeseries(ts: Dict[str, Any], path) -> None:
+def dump_timeseries(ts: dict[str, Any], path) -> None:
     """Write a time series dict as deterministic JSON."""
     with open(path, "w", encoding="utf-8") as fp:
         json.dump(ts, fp, indent=2, sort_keys=True, default=float)

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Callable, Dict, List, Optional
+from collections.abc import Callable
+from typing import Any
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "NULL_SPAN"]
 
@@ -40,11 +41,11 @@ class Span:
         tracer: "Tracer",
         trace_id: int,
         span_id: int,
-        parent_id: Optional[int],
+        parent_id: int | None,
         name: str,
-        node: Optional[int],
+        node: int | None,
         start: float,
-        attrs: Dict[str, Any],
+        attrs: dict[str, Any],
     ):
         self._tracer = tracer
         self.trace_id = trace_id
@@ -53,7 +54,7 @@ class Span:
         self.name = name
         self.node = node
         self.start = start
-        self.end: Optional[float] = None
+        self.end: float | None = None
         self.attrs = attrs
 
     @property
@@ -70,9 +71,9 @@ class Span:
             self.attrs.update(attrs)
         self._tracer._emit(self)
 
-    def to_record(self) -> Dict[str, Any]:
+    def to_record(self) -> dict[str, Any]:
         """The span as a flat, JSON-ready dict."""
-        rec: Dict[str, Any] = {
+        rec: dict[str, Any] = {
             "trace": self.trace_id,
             "span": self.span_id,
             "parent": self.parent_id,
@@ -95,14 +96,14 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None):
+    def __init__(self, clock: Callable[[], float] | None = None):
         self._clock = clock or (lambda: 0.0)
-        self._records: List[Dict[str, Any]] = []
+        self._records: list[dict[str, Any]] = []
         self._next_id = 0
         # Spans started but not yet finished, by span id (insertion order).
         # Exports append these as ``"unfinished": true`` records so a dump
         # taken mid-run (or after a crashed process) loses nothing.
-        self._open: Dict[int, Span] = {}
+        self._open: dict[int, Span] = {}
 
     def attach(self, sim) -> None:
         """Read timestamps from ``sim`` from now on."""
@@ -119,8 +120,8 @@ class Tracer:
     def start(
         self,
         name: str,
-        parent: Optional[Span] = None,
-        node: Optional[int] = None,
+        parent: Span | None = None,
+        node: int | None = None,
         **attrs: Any,
     ) -> Span:
         """Open a span; a None/null parent starts a new trace."""
@@ -139,8 +140,8 @@ class Tracer:
     def point(
         self,
         name: str,
-        parent: Optional[Span] = None,
-        node: Optional[int] = None,
+        parent: Span | None = None,
+        node: int | None = None,
         **attrs: Any,
     ) -> Span:
         """A zero-duration event (eviction, coalesce); emitted at once."""
@@ -150,12 +151,12 @@ class Tracer:
 
     # -- export -------------------------------------------------------------
     @property
-    def records(self) -> List[Dict[str, Any]]:
+    def records(self) -> list[dict[str, Any]]:
         """Finished span records in emission order."""
         return self._records
 
     @property
-    def open_spans(self) -> List[Span]:
+    def open_spans(self) -> list[Span]:
         """Spans started but not yet finished, in start order."""
         return list(self._open.values())
 
@@ -203,13 +204,13 @@ class _NullSpan:
     node = None
     start = 0.0
     end = 0.0
-    attrs: Dict[str, Any] = {}
+    attrs: dict[str, Any] = {}
     finished = True
 
     def finish(self, **attrs: Any) -> None:
         pass
 
-    def to_record(self) -> Dict[str, Any]:
+    def to_record(self) -> dict[str, Any]:
         return {}
 
 
@@ -232,7 +233,7 @@ class NullTracer:
         return NULL_SPAN
 
     @property
-    def records(self) -> List[Dict[str, Any]]:
+    def records(self) -> list[dict[str, Any]]:
         return []
 
     def clear(self) -> None:

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict
 
 #: Cache block size used by the block-based middleware (KB).
 BLOCK_KB = 8
@@ -234,7 +233,7 @@ def lan_params(mbits_per_s: float) -> NetworkParams:
 
 
 #: Named hardware configurations for the sensitivity study.
-HARDWARE_CONFIGS: Dict[str, SimParams] = {
+HARDWARE_CONFIGS: dict[str, SimParams] = {
     "paper": DEFAULT_PARAMS,
     "lan-100mb": DEFAULT_PARAMS.with_overrides(network=lan_params(100)),
     "lan-1gb": DEFAULT_PARAMS.with_overrides(network=lan_params(1000)),

@@ -15,7 +15,7 @@ else can be evicted — that *is* the de-replication preference.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Set
+from collections.abc import Iterator
 
 __all__ = ["FileCache", "ReplicaDirectory"]
 
@@ -26,7 +26,7 @@ class ReplicaDirectory:
     __slots__ = ("_where",)
 
     def __init__(self) -> None:
-        self._where: Dict[int, Set[int]] = {}
+        self._where: dict[int, set[int]] = {}
 
     def holders(self, file_id: int) -> frozenset:
         """Nodes caching ``file_id`` (possibly empty)."""
@@ -96,7 +96,7 @@ class FileCache:
         """Could this file ever be cached here?"""
         return size_kb <= self.capacity_kb
 
-    def insert(self, file_id: int, size_kb: float) -> List[int]:
+    def insert(self, file_id: int, size_kb: float) -> list[int]:
         """Cache ``file_id``, evicting per de-replication; returns the
         evicted file ids.
 
@@ -109,7 +109,7 @@ class FileCache:
             raise ValueError(
                 f"file {file_id} ({size_kb} KB) exceeds cache capacity"
             )
-        evicted: List[int] = []
+        evicted: list[int] = []
         while self.used_kb + size_kb > self.capacity_kb:
             victim = self._select_victim()
             evicted.append(victim)
@@ -130,7 +130,7 @@ class FileCache:
         possible": a file whose only copy is here survives unless *every*
         resident file is a last copy, in which case plain LRU applies.
         """
-        fallback: Optional[int] = None
+        fallback: int | None = None
         for file_id in self._lru:  # oldest first
             if fallback is None:
                 fallback = file_id
@@ -162,11 +162,11 @@ class FileCache:
             self._drop(file_id)
         return len(files)
 
-    def lru_order(self) -> List[int]:
+    def lru_order(self) -> list[int]:
         """Resident files, oldest first (for tests and introspection)."""
         return list(self._lru)
 
-    def metrics(self) -> Dict[str, float]:
+    def metrics(self) -> dict[str, float]:
         """Current occupancy for the metrics registry."""
         return {
             "files": float(len(self._lru)),

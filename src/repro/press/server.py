@@ -29,7 +29,7 @@ Figure 4 compares PRESS and the middleware on the same denominator.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from collections.abc import Generator
 
 from ..cache.block import FileLayout
 from ..cluster.cluster import Cluster
@@ -79,7 +79,7 @@ class PressServer:
 
         self.scope = getattr(obs, "cachescope", None) or NULL_CACHESCOPE
         cache_scope = self.scope if self.scope.active else None
-        self.caches: List[FileCache] = [
+        self.caches: list[FileCache] = [
             FileCache(node.node_id, capacity_kb, self.directory,
                       scope=cache_scope)
             for node in cluster.nodes
@@ -226,7 +226,7 @@ class PressServer:
         return "disk"
 
     def _failover_to_local_disk(
-        self, node: Node, file_id: int, span: Optional[Span]
+        self, node: Node, file_id: int, span: Span | None
     ) -> Generator[Event, object, None]:
         """Serve ``file_id`` from the entry node's own disk after the
         chosen serving node failed (PRESS replicates files on every
@@ -248,7 +248,7 @@ class PressServer:
 
     def _forward_and_serve(
         self, entry: Node, target: Node, file_id: int, *, from_disk: bool,
-        parent: Optional[Span] = None,
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Hand the request from ``entry`` to ``target`` and serve it."""
         cpu = self.params.cpu
@@ -290,7 +290,7 @@ class PressServer:
     # ------------------------------------------------------------------
     def _serve_from_memory(
         self, server: Node, reply_via: Node, file_id: int,
-        parent: Optional[Span] = None,
+        parent: Span | None = None,
     ) -> Generator[Event, object, None]:
         """Serve a resident file and consider replication."""
         prof = self.prof
@@ -317,7 +317,7 @@ class PressServer:
         self._maybe_replicate(server, file_id)
 
     def _read_from_disk(
-        self, node: Node, file_id: int, parent: Optional[Span] = None
+        self, node: Node, file_id: int, parent: Span | None = None
     ) -> Generator[Event, object, None]:
         """Whole-file read from ``node``'s local disk + cache adoption."""
         done = self.sim.event()
@@ -344,7 +344,7 @@ class PressServer:
             self._adopting.pop(file_id, None)
             done.succeed()
 
-    def _extent_runs(self, file_id: int) -> List[DiskRequest]:
+    def _extent_runs(self, file_id: int) -> list[DiskRequest]:
         """One disk request per 64 KB extent of the file."""
         params = self.params
         size_kb = self.layout.size_kb(file_id)

@@ -20,7 +20,8 @@ exactly what the cluster model needs, nothing more.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections.abc import Callable, Generator, Iterable
+from typing import Any
 
 __all__ = [
     "Event",
@@ -54,10 +55,10 @@ class Event:
         "svc_start", "svc_ms", "svc_seek_ms",
     )
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         #: Callables invoked as ``cb(event)`` when the event is processed.
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
@@ -116,7 +117,7 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
@@ -134,10 +135,10 @@ class AllOf(Event):
 
     __slots__ = ("_pending", "_values")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         events = list(events)
-        self._values: List[Any] = [None] * len(events)
+        self._values: list[Any] = [None] * len(events)
         self._pending = len(events)
         if self._pending == 0:
             self.succeed([])
@@ -165,7 +166,7 @@ class AnyOf(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         events = list(events)
         if not events:
@@ -192,7 +193,7 @@ class Process(Event):
 
     __slots__ = ("_gen",)
 
-    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
         super().__init__(sim)
         self._gen = gen
         # Bootstrap on the next kernel step so creation order == start order.
@@ -241,12 +242,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[Any] = []
+        self._heap: list[Any] = []
         self._seq = 0
         self._event_count = 0
         # Observability hooks fired after each processed event; empty on
         # the hot path (one truthiness check per step when unused).
-        self._step_hooks: List[Callable[["Simulator"], None]] = []
+        self._step_hooks: list[Callable[["Simulator"], None]] = []
 
     @property
     def now(self) -> float:
@@ -329,9 +330,9 @@ class Simulator:
 
     def run(
         self,
-        until: Optional[float] = None,
-        max_events: Optional[int] = None,
-        stop: Optional[Event] = None,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop: Event | None = None,
     ) -> None:
         """Run until the calendar drains, ``until`` is reached, ``stop``
         fires, or ``max_events`` more events have been processed.

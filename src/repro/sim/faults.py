@@ -32,10 +32,17 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Callable, List, Optional, Tuple
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from .rng import stream
 from .stats import CounterSet
+
+if TYPE_CHECKING:
+    from ..cluster.cluster import Cluster
+    from ..obs import Observability
+    from ..params import SimParams
+    from .engine import Simulator
 
 __all__ = [
     "FAULT_KINDS",
@@ -75,13 +82,13 @@ class FaultEvent:
     kind: str
     at_ms: float
     #: Affected node (crash/restart/disk_stall) or link endpoint A.
-    node: Optional[int] = None
+    node: int | None = None
     #: Link endpoint B (link_down / link_up only).
-    peer: Optional[int] = None
+    peer: int | None = None
     #: Duration (disk_stall) or added latency (lan_degrade), in ms.
     extra_ms: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind: {self.kind!r}")
         if self.at_ms < 0:
@@ -104,9 +111,9 @@ class FaultPlan:
     JSON-round-trippable (so a chaos run can be archived and replayed).
     """
 
-    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+    events: tuple[FaultEvent, ...] = field(default_factory=tuple)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         ordered = tuple(sorted(self.events, key=lambda e: e.at_ms))
         object.__setattr__(self, "events", ordered)
 
@@ -156,10 +163,10 @@ class FaultPlan:
         if num_nodes < 1:
             raise ValueError("need at least one node")
         rng = stream(seed, "faults", "plan")
-        events: List[FaultEvent] = []
+        events: list[FaultEvent] = []
 
         # Per-node non-overlapping crash windows.
-        candidates: List[Tuple[float, float, int]] = []
+        candidates: list[tuple[float, float, int]] = []
         for node in range(num_nodes):
             count = int(rng.poisson(crashes_per_node))
             starts = sorted(float(t) for t in rng.uniform(0.0, horizon_ms, count))
@@ -173,7 +180,7 @@ class FaultPlan:
                 prev_end = end
         # Accept in crash-time order, refusing any crash that would leave
         # the cluster with zero live nodes at that instant.
-        accepted: List[Tuple[float, float, int]] = []
+        accepted: list[tuple[float, float, int]] = []
         for start, end, node in sorted(candidates):
             concurrent = sum(1 for s, e, _ in accepted if s <= start < e)
             if concurrent + 1 >= num_nodes:
@@ -250,7 +257,8 @@ class FaultInjector:
         "sim", "cluster", "_backoff_rng", "_down", "_lost_links", "_lan_extra",
     )
 
-    def __init__(self, plan: FaultPlan, params, seed: int = 0, obs=None):
+    def __init__(self, plan: FaultPlan, params: SimParams, seed: int = 0,
+                 obs: Observability | None = None) -> None:
         from ..obs.tracing import NULL_TRACER
 
         self.plan = plan
@@ -261,12 +269,12 @@ class FaultInjector:
             self.counters.bind(obs.registry, "faults")
         #: Called as ``fn(node_id)`` synchronously when a node crashes —
         #: the middleware's directory-repair hook.
-        self.crash_listeners: List[Callable[[int], None]] = []
+        self.crash_listeners: list[Callable[[int], None]] = []
         #: Called as ``fn(node_id)`` when a node restarts (cold).
-        self.restart_listeners: List[Callable[[int], None]] = []
+        self.restart_listeners: list[Callable[[int], None]] = []
         #: Called as ``fn(event)`` after *every* applied fault — the
         #: chaos property tests check invariants at each fault boundary.
-        self.fault_listeners: List[Callable[[FaultEvent], None]] = []
+        self.fault_listeners: list[Callable[[FaultEvent], None]] = []
         self.sim = None
         self.cluster = None
         self._backoff_rng = stream(seed, "faults", "backoff")
@@ -274,7 +282,7 @@ class FaultInjector:
         self._lost_links: set = set()
         self._lan_extra = 0.0
 
-    def install(self, sim, cluster) -> None:
+    def install(self, sim: Simulator, cluster: Cluster) -> None:
         """Schedule the plan's events and hook the cluster's network."""
         self.sim = sim
         self.cluster = cluster
@@ -287,7 +295,7 @@ class FaultInjector:
         """True while ``node_id`` is crashed."""
         return node_id in self._down
 
-    def link_ok(self, a: Optional[int], b: Optional[int]) -> bool:
+    def link_ok(self, a: int | None, b: int | None) -> bool:
         """True unless the (a, b) link is currently dropped."""
         if a is None or b is None or a == b:
             return True
@@ -297,7 +305,7 @@ class FaultInjector:
         """Added per-hop wire latency while the LAN is degraded."""
         return self._lan_extra
 
-    def alive_node_ids(self) -> List[int]:
+    def alive_node_ids(self) -> list[int]:
         """Ids of currently-up nodes, ascending."""
         return [n.node_id for n in self.cluster.nodes if n.up]
 
@@ -375,7 +383,7 @@ class NullFaultInjector:
     def is_down(self, node_id: int) -> bool:
         return False
 
-    def link_ok(self, a, b) -> bool:
+    def link_ok(self, a: int, b: int) -> bool:
         return True
 
     def extra_latency_ms(self) -> float:

@@ -12,10 +12,13 @@ the queue-management core in :mod:`repro.cluster.disk`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Tuple
+from typing import TYPE_CHECKING, Any
 
 from .engine import Event, Simulator
 from .stats import UtilizationTracker
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = ["QueueFullError", "ServiceCenter"]
 
@@ -23,7 +26,7 @@ __all__ = ["QueueFullError", "ServiceCenter"]
 class QueueFullError(RuntimeError):
     """A job arrived at a service center whose finite queue was full."""
 
-    def __init__(self, center: "ServiceCenter"):
+    def __init__(self, center: "ServiceCenter") -> None:
         super().__init__(f"queue full at service center {center.name!r}")
         self.center = center
 
@@ -46,7 +49,7 @@ class ServiceCenter:
         name: str,
         capacity: int = 1,
         queue_limit: int = 100_000,
-    ):
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if queue_limit < 0:
@@ -57,7 +60,7 @@ class ServiceCenter:
         self.queue_limit = queue_limit
         #: Busy-time integral, feeds Figure 6a.
         self.utilization = UtilizationTracker(capacity, sim.now)
-        self._queue: Deque[Tuple[float, Event]] = deque()
+        self._queue: deque[tuple[float, Event]] = deque()
         self._in_service = 0
         #: Total jobs completed since construction (not windowed).
         self.completed = 0
@@ -131,6 +134,6 @@ class ServiceCenter:
             "utilization": self.utilization.utilization(self.sim.now),
         }
 
-    def bind_metrics(self, registry) -> None:
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
         """Register this center as a collector under its own name."""
         registry.register_collector(self.name, self.metrics)

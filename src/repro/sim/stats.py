@@ -9,7 +9,10 @@ warm-up phase can be discarded without restarting the run.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 __all__ = [
     "UtilizationTracker",
@@ -31,7 +34,7 @@ class UtilizationTracker:
 
     __slots__ = ("capacity", "_busy", "_last_change", "_busy_integral", "_window_start")
 
-    def __init__(self, capacity: int = 1, now: float = 0.0):
+    def __init__(self, capacity: int = 1, now: float = 0.0) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -83,7 +86,7 @@ class ThroughputMeter:
 
     __slots__ = ("_count", "_window_start")
 
-    def __init__(self, now: float = 0.0):
+    def __init__(self, now: float = 0.0) -> None:
         self._count = 0
         self._window_start = now
 
@@ -166,11 +169,11 @@ class ReservoirQuantiles:
 
     __slots__ = ("_capacity", "_samples", "_seen", "_stride")
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._capacity = capacity
-        self._samples: List[float] = []
+        self._samples: list[float] = []
         self._seen = 0
         self._stride = 1
 
@@ -224,12 +227,12 @@ class WindowedSeries:
 
     __slots__ = ("window_ms", "t_origin", "_bins")
 
-    def __init__(self, window_ms: float, t_origin: float = 0.0):
+    def __init__(self, window_ms: float, t_origin: float = 0.0) -> None:
         if window_ms <= 0:
             raise ValueError("window_ms must be positive")
         self.window_ms = float(window_ms)
         self.t_origin = float(t_origin)
-        self._bins: Dict[int, float] = {}
+        self._bins: dict[int, float] = {}
 
     def _index(self, t: float) -> int:
         return int((t - self.t_origin) // self.window_ms)
@@ -264,14 +267,14 @@ class WindowedSeries:
         """True when nothing has been accumulated."""
         return not self._bins
 
-    def window_range(self):
+    def window_range(self) -> tuple[int, int]:
         """(first_index, last_index) of touched windows; (0, -1) if empty."""
         if not self._bins:
             return (0, -1)
         return (min(self._bins), max(self._bins))
 
-    def values(self, first: Optional[int] = None,
-               last: Optional[int] = None) -> List[float]:
+    def values(self, first: int | None = None,
+               last: int | None = None) -> list[float]:
         """Dense per-window totals over ``[first, last]`` (default: the
         touched range), zero-filled where nothing accumulated."""
         lo, hi = self.window_range()
@@ -292,7 +295,7 @@ class CounterSet:
     __slots__ = ("_counts",)
 
     def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+        self._counts: dict[str, int] = {}
 
     def incr(self, name: str, by: int = 1) -> None:
         """Increment ``name`` by ``by`` (creates it at zero)."""
@@ -306,11 +309,11 @@ class CounterSet:
         """Zero every counter."""
         self._counts.clear()
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """Snapshot of all counters."""
         return dict(self._counts)
 
-    def bind(self, registry, prefix: str) -> None:
+    def bind(self, registry: MetricsRegistry, prefix: str) -> None:
         """Expose this bundle through a shared
         :class:`~repro.obs.metrics.MetricsRegistry` under ``prefix``.
 
@@ -329,6 +332,7 @@ class CounterSet:
         if denominator_parts:
             denom = sum(self.get(p) for p in denominator_parts)
         else:
+            # simlint: ordered -- integer counter sum; order-independent.
             denom = sum(self._counts.values())
         if denom == 0:
             return 0.0

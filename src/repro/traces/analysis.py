@@ -6,7 +6,6 @@ All functions operate on any :class:`~repro.traces.model.Trace`
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -21,7 +20,7 @@ __all__ = [
 ]
 
 
-def popularity_cdf(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
+def popularity_cdf(trace: Trace) -> tuple[np.ndarray, np.ndarray]:
     """Figure 1's two curves.
 
     Files are sorted by decreasing request frequency; returns
@@ -66,7 +65,7 @@ def theoretical_max_hit_rate(trace: Trace, total_memory_mb: float) -> float:
     return float(cum_req[min(idx - 1, len(cum_req) - 1)])
 
 
-def table2_row(trace: Trace) -> Dict[str, float]:
+def table2_row(trace: Trace) -> dict[str, float]:
     """One row of Table 2, computed from the trace itself."""
     return {
         "num_files": trace.num_files,

@@ -18,8 +18,7 @@ transfers).
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Tuple
-
+from collections.abc import Iterable
 import numpy as np
 
 from .model import Trace, TraceSpec
@@ -36,7 +35,7 @@ _CLF_RE = re.compile(
 )
 
 
-class CLFRecord(Tuple):
+class CLFRecord(tuple):
     """(url, status, size_bytes) of one parsed log line."""
 
     __slots__ = ()
@@ -60,7 +59,7 @@ class CLFRecord(Tuple):
         return self[2]
 
 
-def parse_clf_line(line: str) -> Optional[CLFRecord]:
+def parse_clf_line(line: str) -> CLFRecord | None:
     """Parse one log line; None for malformed lines.
 
     Only the fields the trace model needs are extracted.
@@ -93,9 +92,9 @@ def parse_clf_lines(
     sizes.  URLs whose size never exceeds ``min_size_bytes`` are dropped
     (zero-byte entries are usually redirects or errors).
     """
-    url_ids: Dict[str, int] = {}
-    max_size: List[int] = []
-    request_urls: List[int] = []
+    url_ids: dict[str, int] = {}
+    max_size: list[int] = []
+    request_urls: list[int] = []
     for line in lines:
         rec = parse_clf_line(line)
         if rec is None or rec.status not in (200, 304):

@@ -24,14 +24,13 @@ request counts are kept moderate because experiments subsample anyway.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from .model import Trace, TraceSpec
 from .synthetic import generate
 
 __all__ = ["SPECS", "TRACE_NAMES", "spec", "load", "scaled"]
 
-SPECS: Dict[str, TraceSpec] = {
+SPECS: dict[str, TraceSpec] = {
     "calgary": TraceSpec(
         name="calgary",
         num_files=7_500,
@@ -75,7 +74,7 @@ SPECS: Dict[str, TraceSpec] = {
 }
 
 #: Paper ordering: Figure 2's panels (a)-(d).
-TRACE_NAMES: List[str] = ["calgary", "clarknet", "nasa", "rutgers"]
+TRACE_NAMES: list[str] = ["calgary", "clarknet", "nasa", "rutgers"]
 
 
 def spec(name: str) -> TraceSpec:

@@ -12,7 +12,6 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
-from typing import Union
 
 import numpy as np
 
@@ -23,7 +22,7 @@ __all__ = ["save_trace", "load_trace"]
 _FORMAT_VERSION = 1
 
 
-def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
     """Write ``trace`` to ``path`` (numpy ``.npz``, compressed)."""
     spec_json = json.dumps(
         {"format_version": _FORMAT_VERSION, "spec": asdict(trace.spec)}
@@ -36,7 +35,7 @@ def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
     )
 
 
-def load_trace(path: Union[str, os.PathLike]) -> Trace:
+def load_trace(path: str | os.PathLike) -> Trace:
     """Read a trace previously written by :func:`save_trace`."""
     with np.load(path) as data:
         try:

@@ -14,7 +14,7 @@ real logs drop into any experiment unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

@@ -15,7 +15,8 @@ The paper's measurement protocol, reproduced exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Protocol
+from collections.abc import Generator
+from typing import Protocol
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import Node
@@ -57,16 +58,16 @@ class WorkloadResult:
     #: Requests measured (excludes warm-up).
     measured_requests: int
     #: Cluster-mean utilization per resource class.
-    utilization: Dict[str, float] = field(default_factory=dict)
+    utilization: dict[str, float] = field(default_factory=dict)
     #: Maximum per-node utilization per resource class.
-    max_utilization: Dict[str, float] = field(default_factory=dict)
+    max_utilization: dict[str, float] = field(default_factory=dict)
     #: Simulated milliseconds in the measurement window.
     window_ms: float = 0.0
     #: Mean response time per service class ("local"/"remote"/"disk"/...),
     #: for services whose handle() reports one (Figure 5 analysis).
-    response_by_class_ms: Dict[str, float] = field(default_factory=dict)
+    response_by_class_ms: dict[str, float] = field(default_factory=dict)
     #: Measured request count per service class.
-    requests_by_class: Dict[str, int] = field(default_factory=dict)
+    requests_by_class: dict[str, int] = field(default_factory=dict)
     #: Measured requests that terminated as "failed" under fault
     #: injection (excluded from throughput and response moments; their
     #: latency still shows up in ``response_by_class_ms["failed"]``).
@@ -106,7 +107,7 @@ class ClosedLoopDriver:
         self.throughput = ThroughputMeter(sim.now)
         self.response = RunningStats()
         self.quantiles = ReservoirQuantiles()
-        self.response_by_class: Dict[str, RunningStats] = {}
+        self.response_by_class: dict[str, RunningStats] = {}
         self.failed_requests = 0
         self._faults = faults if faults is not None else NULL_FAULTS
         self._warm_time: float = sim.now
@@ -125,7 +126,7 @@ class ClosedLoopDriver:
         self._tracer = obs.tracer if obs is not None else None
 
     # -- the client loop -----------------------------------------------------
-    def _next_request(self) -> Optional[int]:
+    def _next_request(self) -> int | None:
         """Shared trace cursor: the measured stream is the trace order
         regardless of how many clients drain it."""
         if self._cursor >= self.trace.num_requests:
@@ -148,7 +149,7 @@ class ClosedLoopDriver:
         self.response_by_class.clear()
         self.failed_requests = 0
 
-    def _pick_node(self) -> Generator[Event, object, Optional[Node]]:
+    def _pick_node(self) -> Generator[Event, object, Node | None]:
         """DNS pick with a bounded retry loop when the cluster is dark.
 
         Fault-free, :meth:`~repro.cluster.dns.RoundRobinDNS.pick` never

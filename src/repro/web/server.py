@@ -21,7 +21,7 @@ the shared registry.
 
 from __future__ import annotations
 
-from typing import Generator
+from collections.abc import Generator
 
 from ..cache.block import FileLayout
 from ..cluster.node import Node

@@ -42,7 +42,7 @@ def _workload():
     return datasets.scaled("rutgers", 0.005, num_requests=120)
 
 
-def _config(system, num_nodes, faults=FaultPlan.none()):
+def _config(system, num_nodes, faults=None):
     return ExperimentConfig(
         system=system,
         trace=_workload(),
@@ -50,7 +50,7 @@ def _config(system, num_nodes, faults=FaultPlan.none()):
         mem_mb_per_node=0.25,
         num_clients=6,
         seed=0,
-        faults=faults,
+        faults=faults if faults is not None else FaultPlan.none(),
     )
 
 
