@@ -1,0 +1,111 @@
+"""Scheduler microbenchmark: kernel event throughput, heap vs calendar.
+
+A synthetic but experiment-shaped workload — a fixed population of
+actors rescheduling themselves with a seeded mix of sub-ms service gaps
+and long think times — is driven through the bare kernel under each
+registered scheduler.  The record reports events/sec per scheduler plus
+their ratio; a free differential check asserts both runs processed the
+same events to the same final simulation time.
+
+Unlike the figure benches this one measures the *kernel*, so its params
+(and digest) are the workload constants below, not the ``REPRO_*``
+experiment knobs.  Timing numbers are wall-clock and machine-dependent;
+the committed baseline pins the shape, not an absolute.
+"""
+
+import random
+import time
+
+from conftest import REPO_ROOT, RESULTS_DIR
+
+from repro.bench.schema import dump_record, wrap_result
+from repro.sim.engine import SCHEDULERS, Simulator
+
+NEVENTS = 200_000
+ACTORS = 64
+SEED = 0
+#: Delay mix: mostly short service-completion-like gaps with occasional
+#: long think times — the spread an experiment's pending set actually has.
+DELAY_GRID = [0.0, 0.05, 0.1, 0.4, 1.0, 2.5, 10.0, 120.0]
+
+
+def drive(scheduler: str, nevents: int = NEVENTS, actors: int = ACTORS):
+    """Run the actor workload on one scheduler; returns timing stats."""
+    sim = Simulator(scheduler=scheduler)
+    rng = random.Random(SEED)
+    # Per-actor cyclic delay plans, drawn once so every scheduler sees
+    # the exact same event pattern.
+    plans = [[rng.choice(DELAY_GRID) for _ in range(97)] for _ in range(actors)]
+    state = {"left": nevents}
+
+    def fire(actor: int, idx: int) -> None:
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.call_after(plans[actor][idx % 97], fire, actor, idx + 1)
+
+    for a in range(actors):
+        sim.call_after(plans[a][0], fire, a, 1)
+    t0 = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "events": sim.event_count,
+        "final_now_ms": sim.now,
+        "elapsed_s": elapsed,
+        "events_per_sec": sim.event_count / elapsed,
+    }
+
+
+def render_sched(data: dict) -> str:
+    lines = [
+        f"Kernel event throughput "
+        f"({data['nevents']} events, {data['actors']} actors):"
+    ]
+    for name, stats in sorted(data["schedulers"].items()):
+        lines.append(
+            f"  {name:<9} {stats['events_per_sec']:>10.0f} events/s "
+            f"({stats['elapsed_s']:.3f} s)"
+        )
+    lines.append(f"  calendar/heap ratio: x{data['calendar_vs_heap']:.2f}")
+    return "\n".join(lines)
+
+
+def test_bench_sched(benchmark, artifact):
+    results = {}
+
+    def run_all():
+        for name in sorted(SCHEDULERS):
+            results[name] = drive(name)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Differential side-check: identical logical runs, only timing differs.
+    counts = {s["events"] for s in results.values()}
+    finals = {s["final_now_ms"] for s in results.values()}
+    assert len(counts) == 1 and counts.pop() == NEVENTS + ACTORS
+    assert len(finals) == 1
+
+    data = {
+        "nevents": NEVENTS,
+        "actors": ACTORS,
+        "schedulers": results,
+        "calendar_vs_heap": (
+            results["calendar"]["events_per_sec"]
+            / results["heap"]["events_per_sec"]
+        ),
+    }
+    record = wrap_result(
+        "sched",
+        data,
+        seed=SEED,
+        params={"nevents": NEVENTS, "actors": ACTORS,
+                "delay_grid": DELAY_GRID},
+        metrics={
+            f"{name}.events_per_sec": stats["events_per_sec"]
+            for name, stats in results.items()
+        },
+    )
+    artifact("sched", render_sched(data))
+    dump_record(record, RESULTS_DIR / "sched.json")
+    dump_record(record, REPO_ROOT / "BENCH_sched.json")

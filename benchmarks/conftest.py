@@ -16,12 +16,10 @@ import pathlib
 
 import pytest
 
+from repro.experiments.defaults import BENCH_MEMORY_MB  # shared with `sweep` CLI
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-
-#: Benchmarks use a trimmed memory axis (full 8-point sweeps belong to
-#: interactive use); these are the paper's 4-512 MB endpoints + midpoints.
-BENCH_MEMORY_MB = [4, 16, 64, 256]
 
 #: Every experiment runner defaults to this seed (ExperimentConfig.seed).
 BENCH_SEED = 0
@@ -30,14 +28,9 @@ BENCH_SEED = 0
 def bench_params():
     """The workload knobs that shaped this run — recorded in every
     trajectory record so comparisons refuse mismatched workloads."""
-    from repro.experiments.defaults import NUM_CLIENTS, NUM_REQUESTS, SCALE
+    from repro.experiments.defaults import bench_params as _bench_params
 
-    return {
-        "scale": SCALE,
-        "requests": NUM_REQUESTS,
-        "clients": NUM_CLIENTS,
-        "memory_mb": list(BENCH_MEMORY_MB),
-    }
+    return _bench_params()
 
 
 @pytest.fixture

@@ -40,6 +40,9 @@ SCAN = "scan"
 class DiskRequest:
     """One contiguous run of blocks within a single extent of a file."""
 
+    # Hot-path object: one instance per disk run on every miss path.
+    __slots__ = ("file_id", "extent", "start_block", "nblocks", "size_kb")
+
     file_id: int
     #: Index of the 64 KB extent within the file (0-based).
     extent: int

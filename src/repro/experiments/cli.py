@@ -33,6 +33,12 @@ Usage::
     python -m repro.experiments.cli analyze --cache cachescope.jsonl
     python -m repro.experiments.cli analyze trace.jsonl metrics.json --json -
 
+    # Sharded figure sweep: run the fig2 (trace x system x memory) cell
+    # matrix across 4 worker processes and emit the provenance-wrapped
+    # trajectory record — byte-identical to a serial (--workers 1) run.
+    python -m repro.experiments.cli sweep --workers 4 \\
+        --bench-out BENCH_fig2.json
+
 Pass ``-v`` / ``--verbose`` (repeatable) anywhere for INFO/DEBUG
 logging.  Workload scale is controlled by the usual environment knobs
 (``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
@@ -52,6 +58,7 @@ from .report import banner
 
 __all__ = [
     "ARTIFACTS", "main", "run_command", "analyze_command", "chaos_command",
+    "sweep_command",
 ]
 
 #: artifact name -> zero-argument renderer.
@@ -201,6 +208,85 @@ def run_command(argv) -> int:
             attribute(obs.tracer.records),
             metrics=obs.registry.snapshot(),
         ))
+    return 0
+
+
+def _sweep_parser() -> argparse.ArgumentParser:
+    from ..traces.datasets import TRACE_NAMES
+
+    p = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description="Run a figure's (trace x system x memory) cell matrix, "
+                    "optionally sharded across worker processes, and emit "
+                    "a provenance-wrapped BENCH trajectory record.  Output "
+                    "is byte-identical at any worker count.",
+    )
+    p.add_argument("--figure", default="fig2", choices=["fig2"],
+                   help="which figure's sweep to run (currently: fig2)")
+    p.add_argument("--workload", action="append", dest="workloads",
+                   choices=list(TRACE_NAMES), default=None,
+                   help="restrict to this trace (repeatable; default: all)")
+    p.add_argument("--nodes", type=_positive(int), default=8,
+                   help="cluster size")
+    p.add_argument("--workers", type=_positive(int), default=None,
+                   help="worker processes to shard cells across "
+                        "(default: REPRO_WORKERS or 1 = serial)")
+    p.add_argument("--memory-axis", default="bench",
+                   choices=["bench", "paper"],
+                   help="memory points: the 4-point benchmark axis "
+                        "(baseline-compatible) or the paper's full 8-point "
+                        "axis")
+    p.add_argument("--bench-out", metavar="FILE", default=None,
+                   help="write the provenance-wrapped trajectory record "
+                        "(JSON, repro.bench schema) to FILE")
+    p.add_argument("--render", action="store_true",
+                   help="print the rendered figure tables as well")
+    return p
+
+
+def sweep_command(argv) -> int:
+    """``sweep`` subcommand: sharded figure sweep + BENCH record."""
+    import time
+
+    from ..bench.schema import dump_record, wrap_result
+    from ..traces.datasets import TRACE_NAMES
+    from .figures import fig2, render_fig2
+    from .parallel import default_workers
+
+    opts = _sweep_parser().parse_args(argv)
+    workers = opts.workers if opts.workers is not None else default_workers()
+    memories = defaults.memory_points_mb(
+        defaults.BENCH_MEMORY_MB if opts.memory_axis == "bench" else None
+    )
+    trace_names = opts.workloads or list(TRACE_NAMES)
+    n_cells = len(trace_names) * 4 * len(memories)
+    print(banner(f"sweep {opts.figure}"))
+    print(f"cells             {n_cells} "
+          f"({len(trace_names)} traces x 4 systems x {len(memories)} "
+          f"memory points)")
+    print(f"workers           {workers}")
+    # Wall-clock is operator-facing progress reporting only; it never
+    # feeds simulation state (results are a pure function of the cells).
+    t0 = time.perf_counter()  # simlint: disable=SL02 -- elapsed-time report, not sim state
+    data = fig2(
+        trace_names=trace_names,
+        num_nodes=opts.nodes,
+        memories_mb=memories,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - t0  # simlint: disable=SL02 -- elapsed-time report, not sim state
+    print(f"elapsed           {elapsed:.1f} s wall "
+          f"({n_cells / elapsed:.2f} cells/s)")
+    if opts.bench_out:
+        record = wrap_result(
+            opts.figure, data, seed=0, params=defaults.bench_params()
+        )
+        dump_record(record, opts.bench_out)
+        print(f"trajectory record -> {opts.bench_out} "
+              f"(params digest {record['params_digest']})")
+    if opts.render:
+        print()
+        print(render_fig2(data))
     return 0
 
 
@@ -492,6 +578,8 @@ def main(argv=None) -> int:
         return chaos_command(args[1:])
     if args and args[0] == "analyze":
         return analyze_command(args[1:])
+    if args and args[0] == "sweep":
+        return sweep_command(args[1:])
     if not args or args == ["list"]:
         print(__doc__)
         print("artifacts:", " ".join(ARTIFACTS))

@@ -25,12 +25,20 @@ __all__ = [
     "NUM_REQUESTS",
     "NUM_CLIENTS",
     "PAPER_MEMORY_MB",
+    "BENCH_MEMORY_MB",
+    "bench_params",
     "memory_points_mb",
     "workload",
 ]
 
 #: The paper's per-node memory x-axis (MB), Figure 2.
 PAPER_MEMORY_MB: list[float] = [4, 8, 16, 32, 64, 128, 256, 512]
+
+#: The trimmed axis the benchmark harness and the ``sweep`` CLI share
+#: (the paper's 4-512 MB endpoints + midpoints).  Both sides must use
+#: the same list — it feeds the params digest that the regression gate
+#: refuses to compare across.
+BENCH_MEMORY_MB: list[float] = [4, 16, 64, 256]
 
 
 def _env_float(name: str, default: float) -> float:
@@ -56,6 +64,21 @@ NUM_CLIENTS: int = _env_int("REPRO_CLIENTS", 96)
 def memory_points_mb(points=None) -> list[float]:
     """The paper's memory axis, scaled to the active workload scale."""
     return [m * SCALE for m in (points or PAPER_MEMORY_MB)]
+
+
+def bench_params() -> dict:
+    """The workload knobs that shape a benchmark run.
+
+    Recorded in every trajectory record (see :mod:`repro.bench.schema`)
+    so comparisons refuse mismatched workloads; the pytest benchmark
+    harness and the ``sweep`` CLI both record exactly this dict.
+    """
+    return {
+        "scale": SCALE,
+        "requests": NUM_REQUESTS,
+        "clients": NUM_CLIENTS,
+        "memory_mb": list(BENCH_MEMORY_MB),
+    }
 
 
 def workload(name: str):

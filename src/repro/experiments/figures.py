@@ -99,21 +99,48 @@ def fig2(
     trace_names: Sequence[str] | None = None,
     num_nodes: int = 8,
     memories_mb: Sequence[float] | None = None,
+    workers: int | None = None,
 ) -> dict[str, dict]:
     """Figure 2 (a-d): throughput of PRESS and the three middleware
-    variants vs per-node memory, one panel per trace."""
-    panels = {}
-    for name in trace_names or TRACE_NAMES:
-        trace = defaults.workload(name)
-        sweep = memory_sweep(
-            trace, ALL_SYSTEMS, memories_mb=memories_mb, num_nodes=num_nodes
+    variants vs per-node memory, one panel per trace.
+
+    ``workers`` shards the full (trace × system × memory) cell matrix
+    across processes (default: the ``REPRO_WORKERS`` knob); the merged
+    panels are byte-identical to a serial run.
+    """
+    from .parallel import run_cells
+    from .runner import ExperimentConfig
+
+    names = list(trace_names or TRACE_NAMES)
+    memories = list(memories_mb if memories_mb is not None
+                    else defaults.memory_points_mb())
+    # One flat cell list over all panels so a parallel run keeps every
+    # worker busy across trace boundaries, not just within one panel.
+    cells = [
+        ExperimentConfig(
+            system=system,
+            trace=defaults.workload(name),
+            num_nodes=num_nodes,
+            mem_mb_per_node=mem,
+            num_clients=defaults.NUM_CLIENTS,
         )
-        mems = [r.config.mem_mb_per_node for r in next(iter(sweep.values()))]
+        for name in names
+        for system in ALL_SYSTEMS
+        for mem in memories
+    ]
+    results = run_cells(cells, workers=workers)
+    panels = {}
+    n = len(memories)
+    per_trace = len(ALL_SYSTEMS) * n
+    for t, name in enumerate(names):
+        block = results[t * per_trace:(t + 1) * per_trace]
         panels[name] = {
-            "memories_mb": mems,
+            "memories_mb": list(memories),
             "throughput_rps": {
-                sys_name: [r.throughput_rps for r in results]
-                for sys_name, results in sweep.items()
+                sys_name: [
+                    r.throughput_rps for r in block[s * n:(s + 1) * n]
+                ]
+                for s, sys_name in enumerate(ALL_SYSTEMS)
             },
         }
     return panels

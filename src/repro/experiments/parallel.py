@@ -1,0 +1,92 @@
+"""Sharded sweep execution: (trace × system × seed) cells across cores.
+
+A *cell* is one :class:`~repro.experiments.runner.ExperimentConfig` —
+the unit every figure/table sweep already decomposes into.  Cells are
+embarrassingly parallel by construction: each one builds its own
+:class:`~repro.sim.Simulator`, derives every random stream from its own
+``(seed, key)`` pair (:mod:`repro.sim.rng`), and touches no module
+state, so a worker process needs nothing beyond the pickled config.
+
+The determinism argument for the parallel runner, in full:
+
+1. **Worker isolation** — ``run_experiment`` reads only its config; a
+   fresh interpreter (spawn) and a forked one produce identical results
+   because no ambient state (wall clock, global RNG, environment
+   mutation) feeds the simulation (simlint SL02 enforces this).
+2. **Seeded cells** — every stochastic input is derived from the cell's
+   own seed, so results are a pure function of the cell.
+3. **Ordered merge** — results return in *submission order*
+   (``Pool.map`` semantics), not completion order; the merged list is
+   byte-identical to a serial loop over the same cells.
+
+Hence ``run_cells(cells, workers=4)`` == ``run_cells(cells, workers=1)``
+element-for-element, which ``tests/test_sweep_parallel.py`` pins all the
+way down to BENCH-record and golden-digest bytes.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+from collections.abc import Sequence
+
+from .runner import ExperimentConfig, ExperimentResult, run_experiment
+
+__all__ = ["default_workers", "run_cells"]
+
+logger = logging.getLogger(__name__)
+
+#: Environment knob: default worker count for sweeps (0/unset = serial).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1 = serial)."""
+    raw = os.environ.get(WORKERS_ENV)
+    if not raw:
+        return 1
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {value}")
+    return value
+
+
+def _run_cell(cfg: ExperimentConfig) -> ExperimentResult:
+    """Worker entry point: simulate one cell, fully isolated."""
+    return run_experiment(cfg)
+
+
+def run_cells(
+    cells: Sequence[ExperimentConfig],
+    workers: int | None = None,
+) -> list[ExperimentResult]:
+    """Run every cell; returns results in cell order.
+
+    ``workers > 1`` shards cells across that many processes (capped at
+    the cell count).  Output is guaranteed identical to ``workers=1``:
+    see the module docstring for the three-step determinism argument.
+    """
+    cells = list(cells)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = min(workers, len(cells))
+    if workers <= 1:
+        return [_run_cell(cfg) for cfg in cells]
+    # fork (where available) skips per-worker reimport of the package;
+    # spawn is the portable fallback.  Results are identical under
+    # either start method — workers only consume their pickled cell.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    logger.info(
+        "sharding %d cells across %d workers (%s)",
+        len(cells), workers, ctx.get_start_method(),
+    )
+    with ctx.Pool(processes=workers) as pool:
+        # chunksize=1: cells are coarse (whole simulations), so favor
+        # balance over batching; map() preserves submission order.
+        return pool.map(_run_cell, cells, chunksize=1)

@@ -1,4 +1,11 @@
-"""Parameter sweeps over :func:`repro.experiments.runner.run_experiment`."""
+"""Parameter sweeps over :func:`repro.experiments.runner.run_experiment`.
+
+Every sweep decomposes into independent (system × point) cells and
+executes them through :func:`repro.experiments.parallel.run_cells`, so
+``workers > 1`` (or ``REPRO_WORKERS``) shards the same cells across
+processes with results merged back in cell order — output is identical
+to a serial run by construction.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +16,8 @@ from ..core.config import CoopCacheConfig
 from ..params import DEFAULT_PARAMS, SimParams
 from ..traces.model import Trace
 from . import defaults
-from .runner import ExperimentConfig, ExperimentResult, run_experiment
+from .parallel import run_cells
+from .runner import ExperimentConfig, ExperimentResult
 
 __all__ = ["memory_sweep", "node_sweep"]
 
@@ -24,32 +32,39 @@ def memory_sweep(
     num_clients: int | None = None,
     params: SimParams = DEFAULT_PARAMS,
     home_strategy: str = "round_robin",
+    workers: int | None = None,
 ) -> dict[str, list[ExperimentResult]]:
     """Run every system at every per-node memory size.
 
     Returns ``{system_label: [result per memory point]}`` with the points
     in the order given (default: the paper's 4-512 MB axis, scaled).
+    ``workers`` shards the (system × memory) cells across processes
+    (default: the ``REPRO_WORKERS`` environment knob).
     """
     memories = list(memories_mb if memories_mb is not None
                     else defaults.memory_points_mb())
     clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
-    out: dict[str, list[ExperimentResult]] = {}
-    for system in systems:
-        label = system if isinstance(system, str) else system_label(system)
-        results = []
-        for mem in memories:
-            cfg = ExperimentConfig(
-                system=system,
-                trace=trace,
-                num_nodes=num_nodes,
-                mem_mb_per_node=mem,
-                num_clients=clients,
-                params=params,
-                home_strategy=home_strategy,
-            )
-            results.append(run_experiment(cfg))
-        out[label] = results
-    return out
+    labels = [system if isinstance(system, str) else system_label(system)
+              for system in systems]
+    cells = [
+        ExperimentConfig(
+            system=system,
+            trace=trace,
+            num_nodes=num_nodes,
+            mem_mb_per_node=mem,
+            num_clients=clients,
+            params=params,
+            home_strategy=home_strategy,
+        )
+        for system in systems
+        for mem in memories
+    ]
+    results = run_cells(cells, workers=workers)
+    n = len(memories)
+    return {
+        label: results[i * n:(i + 1) * n]
+        for i, label in enumerate(labels)
+    }
 
 
 def node_sweep(
@@ -59,12 +74,12 @@ def node_sweep(
     mem_mb_per_node: float,
     num_clients: int | None = None,
     params: SimParams = DEFAULT_PARAMS,
+    workers: int | None = None,
 ) -> list[ExperimentResult]:
     """Run one system across cluster sizes (Figure 6b)."""
     clients = num_clients if num_clients is not None else defaults.NUM_CLIENTS
-    results = []
-    for n in node_counts:
-        cfg = ExperimentConfig(
+    cells = [
+        ExperimentConfig(
             system=system,
             trace=trace,
             num_nodes=n,
@@ -72,8 +87,9 @@ def node_sweep(
             num_clients=clients,
             params=params,
         )
-        results.append(run_experiment(cfg))
-    return results
+        for n in node_counts
+    ]
+    return run_cells(cells, workers=workers)
 
 
 def system_label(config: CoopCacheConfig) -> str:

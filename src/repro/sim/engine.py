@@ -10,8 +10,20 @@ with finite queues").  The design goals, in order:
 2. **Readability** — request flows are written as Python generators that
    ``yield`` events (:class:`Timeout`, service-center grants, or
    combinators), which keeps multi-hop protocol code linear.
-3. **Speed** — the hot path is a single binary heap and plain function
-   calls; no reflection, no dynamic dispatch beyond one ``callbacks`` list.
+3. **Speed** — the hot path is a pending-event scheduler and plain
+   function calls; no reflection, no dynamic dispatch beyond one
+   ``callbacks`` list.
+
+The pending-event set lives behind the :class:`Scheduler` protocol with
+two interchangeable implementations: :class:`HeapScheduler` (a binary
+heap — the reference) and :class:`CalendarScheduler` (a Brown calendar
+queue with O(1) amortized enqueue/dequeue).  Both order strictly by
+``(time, seq)``, so they are *observationally identical*: the
+differential suite in ``tests/test_scheduler_differential.py`` proves
+pop-order equality on adversarial workloads, and the golden-trace tests
+pin byte-identical digests under either.  Select with
+``Simulator(scheduler="calendar")`` or the ``REPRO_SCHEDULER``
+environment variable (default: ``heap``).
 
 This is intentionally a small subset of a general-purpose DES library:
 exactly what the cluster model needs, nothing more.
@@ -20,8 +32,10 @@ exactly what the cluster model needs, nothing more.
 from __future__ import annotations
 
 import heapq
+import os
+from bisect import insort
 from collections.abc import Callable, Generator, Iterable
-from typing import Any
+from typing import Any, Protocol, Union
 
 __all__ = [
     "Event",
@@ -29,6 +43,10 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Process",
+    "Scheduler",
+    "HeapScheduler",
+    "CalendarScheduler",
+    "SCHEDULERS",
     "Simulator",
     "SimulationError",
 ]
@@ -124,6 +142,39 @@ class Timeout(Event):
         self._triggered = True
         self._value = value
         sim._push(delay, self)
+
+
+class _Callback(Event):
+    """Internal: a pre-triggered event that calls ``fn(*args)`` when fired.
+
+    This is the allocation-light fast path behind :meth:`Simulator.call_at`
+    / :meth:`Simulator.call_after` — one slotted object, no closure, no
+    ``succeed`` round-trip.  It is pushed exactly once at construction, so
+    its position in the ``(time, seq)`` order is identical to the
+    ``Event`` + lambda chain it replaced; golden digests cannot observe
+    the difference.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., None],
+                 args: tuple[Any, ...]) -> None:
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self._fn = fn
+        self._args = args
+
+    def _fire(self) -> None:
+        self._processed = True
+        self._fn(*self._args)
+        if self.callbacks:
+            callbacks, self.callbacks = self.callbacks, []
+            for cb in callbacks:
+                cb(self)
 
 
 class AllOf(Event):
@@ -231,18 +282,244 @@ class Process(Event):
             target.callbacks.append(self._resume)
 
 
-class Simulator:
-    """The event loop: a heap of ``(time, seq, event)`` triples.
+class Scheduler(Protocol):
+    """The pending-event set: a priority queue ordered by ``(time, seq)``.
 
-    ``seq`` breaks timestamp ties in schedule order, which makes runs
-    deterministic regardless of heap internals.
+    Implementations must dequeue in strict ``(time, seq)`` order — the
+    determinism contract every golden digest rests on.  ``seq`` values
+    are assigned (monotonically) by the :class:`Simulator`; schedulers
+    only store and order them.
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_event_count", "_step_hooks")
+    def push(self, when: float, seq: int, event: Event) -> None:
+        """Insert an entry.  ``when`` is absolute simulation time."""
+        ...  # pragma: no cover - protocol
+
+    def pop(self) -> tuple[float, int, Event]:
+        """Remove and return the least entry; raises IndexError if empty."""
+        ...  # pragma: no cover - protocol
+
+    def peek_time(self) -> float:
+        """Time of the least entry, or ``inf`` if empty."""
+        ...  # pragma: no cover - protocol
+
+    def __len__(self) -> int:
+        """Number of pending entries."""
+        ...  # pragma: no cover - protocol
+
+
+class HeapScheduler:
+    """The reference scheduler: a binary heap of ``(time, seq, event)``.
+
+    ``heapq`` is C-implemented and O(log n); with the modest queue
+    depths of the cluster model (hundreds of pending events) it is very
+    hard to beat, which is why it stays the default and the ground truth
+    the differential tests compare against.
+    """
+
+    __slots__ = ("_heap",)
 
     def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+
+    def push(self, when: float, seq: int, event: Event) -> None:
+        heapq.heappush(self._heap, (when, seq, event))
+
+    def pop(self) -> tuple[float, int, Event]:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 1 << 16
+
+
+class CalendarScheduler:
+    """A Brown calendar queue: pending events bucketed by time.
+
+    The time axis is divided into ``width``-ms *days* (buckets); a year
+    is ``nbuckets`` days, and times map to ``int(t / width) % nbuckets``
+    — events a full year out share buckets with near-term ones and are
+    skipped by the ``< bucket_top`` check during the scan.  Each bucket
+    is a list kept sorted by ``(time, seq)`` via :func:`bisect.insort`,
+    so dequeue order is *identical* to the heap's: strict ``(time, seq)``
+    ties-broken-by-schedule-order.  Enqueue and dequeue are O(1)
+    amortized while the queue obeys the sizing invariant
+    (``nbuckets/2 <= count <= 2*nbuckets``), which :meth:`_resize`
+    maintains by re-bucketing with a width sampled from the current
+    inter-event gaps — a deterministic function of queue content, never
+    of wall time.
+
+    Scheduling into the past (before the last popped entry) is the one
+    thing the bucket scan cannot survive; the :class:`Simulator` already
+    forbids it (negative delays raise), and :meth:`push` guards it with
+    an assertion.
+    """
+
+    __slots__ = ("_buckets", "_nbuckets", "_width", "_count", "_cur",
+                 "_bucket_top", "_last_when")
+
+    def __init__(self, nbuckets: int = _MIN_BUCKETS, width: float = 1.0) -> None:
+        if nbuckets < 1:
+            raise ValueError("nbuckets must be >= 1")
+        if width <= 0.0:
+            raise ValueError("width must be positive")
+        self._count = 0
+        self._last_when = 0.0
+        self._setup(nbuckets, width)
+
+    def _setup(self, nbuckets: int, width: float) -> None:
+        """(Re)build empty buckets and point the scan at ``_last_when``."""
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets: list[list[tuple[float, int, Event]]] = [
+            [] for _ in range(nbuckets)
+        ]
+        day = int(self._last_when / width)
+        self._cur = day % nbuckets
+        self._bucket_top = (day + 1) * width
+
+    def push(self, when: float, seq: int, event: Event) -> None:
+        assert when >= self._last_when, (
+            f"calendar queue: push into the past ({when} < {self._last_when})"
+        )
+        insort(self._buckets[int(when / self._width) % self._nbuckets],
+               (when, seq, event))
+        self._count += 1
+        if self._count > (self._nbuckets << 1) and self._nbuckets < _MAX_BUCKETS:
+            self._resize()
+
+    def _scan(self) -> int:
+        """Index of the bucket holding the least entry (queue non-empty).
+
+        Walks at most one year from the current day; if nothing lands
+        within it (a big time gap), falls back to a direct min scan and
+        jumps the calendar to that entry's day.  Updates ``_cur`` /
+        ``_bucket_top`` so the next scan resumes where this one ended.
+        """
+        i = self._cur
+        top = self._bucket_top
+        width = self._width
+        buckets = self._buckets
+        n = self._nbuckets
+        for _ in range(n):
+            b = buckets[i]
+            if b and b[0][0] < top:
+                self._cur = i
+                self._bucket_top = top
+                return i
+            i += 1
+            if i == n:
+                i = 0
+            top += width
+        # Rare: next event is over a year away.  Direct search — bucket
+        # heads compare by (time, seq), so the minimum is unambiguous.
+        best_i = -1
+        best: tuple[float, int, Event] | None = None
+        for j, b in enumerate(buckets):
+            if b and (best is None or b[0] < best):
+                best = b[0]
+                best_i = j
+        assert best is not None
+        day = int(best[0] / width)
+        self._cur = best_i
+        self._bucket_top = (day + 1) * width
+        return best_i
+
+    def pop(self) -> tuple[float, int, Event]:
+        if not self._count:
+            raise IndexError("pop from an empty calendar queue")
+        entry = self._buckets[self._scan()].pop(0)
+        self._count -= 1
+        self._last_when = entry[0]
+        if self._count < (self._nbuckets >> 2) and self._nbuckets > _MIN_BUCKETS:
+            self._resize()
+        return entry
+
+    def peek_time(self) -> float:
+        if not self._count:
+            return float("inf")
+        return self._buckets[self._scan()][0][0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _resize(self) -> None:
+        """Re-bucket so mean occupancy returns to ~1 entry per bucket.
+
+        Deterministic by construction: the new bucket count is the next
+        power of two covering the entry count, and the new width is
+        twice the mean gap over (up to) the 32 soonest entries — both
+        pure functions of the queue's current content.
+        """
+        entries: list[tuple[float, int, Event]] = []
+        for b in self._buckets:
+            entries.extend(b)
+        entries.sort()  # by (time, seq); seq uniqueness makes this total
+        nbuckets = _MIN_BUCKETS
+        while nbuckets < len(entries) and nbuckets < _MAX_BUCKETS:
+            nbuckets <<= 1
+        head = entries[:32]
+        gaps = [b[0] - a[0] for a, b in zip(head, head[1:])]
+        mean_gap = (sum(gaps) / len(gaps)) if gaps else 0.0
+        width = max(2.0 * mean_gap, 1e-9) if mean_gap > 0.0 else self._width
+        self._setup(nbuckets, width)
+        # Entries arrive in (time, seq) order, so each bucket's append
+        # stream is already sorted — no insort needed on rebuild.
+        buckets = self._buckets
+        for entry in entries:
+            buckets[int(entry[0] / width) % nbuckets].append(entry)
+
+
+#: Scheduler registry: name -> zero-argument factory.  ``heap`` is the
+#: reference implementation; ``calendar`` must stay observationally
+#: identical (the differential tests enforce it).
+SCHEDULERS: dict[str, Callable[[], "Scheduler"]] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarScheduler,
+}
+
+#: Environment knob consulted when ``Simulator(scheduler=None)``.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+
+def default_scheduler_name() -> str:
+    """The scheduler chosen by the environment (default ``heap``)."""
+    return os.environ.get(SCHEDULER_ENV) or "heap"
+
+
+class Simulator:
+    """The event loop: pending ``(time, seq, event)`` triples behind a
+    :class:`Scheduler`.
+
+    ``seq`` breaks timestamp ties in schedule order, which makes runs
+    deterministic regardless of scheduler internals.  ``scheduler`` may
+    be a registry name (``"heap"`` / ``"calendar"``), a ready
+    :class:`Scheduler` instance, or ``None`` to consult the
+    ``REPRO_SCHEDULER`` environment variable.
+    """
+
+    __slots__ = ("_now", "_sched", "_seq", "_event_count", "_step_hooks")
+
+    def __init__(self, scheduler: Union[str, "Scheduler", None] = None) -> None:
         self._now: float = 0.0
-        self._heap: list[Any] = []
+        if scheduler is None:
+            scheduler = default_scheduler_name()
+        if isinstance(scheduler, str):
+            try:
+                factory = SCHEDULERS[scheduler]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown scheduler {scheduler!r}; "
+                    f"choose from {sorted(SCHEDULERS)}"
+                ) from None
+            scheduler = factory()
+        self._sched: Scheduler = scheduler
         self._seq = 0
         self._event_count = 0
         # Observability hooks fired after each processed event; empty on
@@ -258,6 +535,11 @@ class Simulator:
     def event_count(self) -> int:
         """Total events processed so far (for budget checks in tests)."""
         return self._event_count
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        """The active pending-event scheduler."""
+        return self._sched
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -284,21 +566,29 @@ class Simulator:
         """Schedule a plain callback at absolute time ``when``."""
         if when < self._now:
             raise SimulationError(f"call_at into the past: {when} < {self._now}")
-        ev = Event(self)
-        ev.callbacks.append(lambda _ev: fn(*args))
-        ev.succeed(None, delay=when - self._now)
+        ev = _Callback(self, fn, args)
+        self._push(when - self._now, ev)
         return ev
 
     def call_after(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule a plain callback ``delay`` ms from now."""
-        return self.call_at(self._now + delay, fn, *args)
+        ev = _Callback(self, fn, args)
+        self._push(delay, ev)  # validates delay >= 0
+        return ev
 
     # -- kernel --------------------------------------------------------------
     def _push(self, delay: float, event: Event) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        # The tie-break contract: seq is assigned here and ONLY here,
+        # strictly increasing across every scheduler implementation, so
+        # same-timestamp events fire in schedule order.  The assertion
+        # guards the latent fragility of a subclass or scheduler ever
+        # recycling sequence numbers.
+        seq = self._seq + 1
+        assert seq > self._seq, "sequence numbers must be strictly monotonic"
+        self._seq = seq
+        self._sched.push(self._now + delay, seq, event)
 
     # -- observability hooks -------------------------------------------------
     def add_step_hook(self, hook: Callable[["Simulator"], None]) -> None:
@@ -316,7 +606,7 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _seq, event = self._sched.pop()
         self._now = when
         self._event_count += 1
         event._fire()
@@ -326,7 +616,7 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if the calendar is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek_time()
 
     def run(
         self,
@@ -341,11 +631,40 @@ class Simulator:
         exactly at ``until`` is *not* processed, and ``now`` is advanced to
         ``until``.
         """
+        sched = self._sched
+        if until is None and max_events is None and stop is None:
+            # The unconditional drain — every experiment's hot loop.
+            # Same semantics as the general loop below, minus the three
+            # per-event guard checks and the step() call indirection.
+            # For the reference heap the loop reads the entry list
+            # directly, skipping the per-event Scheduler method frames.
+            if type(sched) is HeapScheduler:
+                heap = sched._heap
+                heappop = heapq.heappop
+                while heap:
+                    when, _seq, event = heappop(heap)
+                    self._now = when
+                    self._event_count += 1
+                    event._fire()
+                    if self._step_hooks:
+                        for hook in self._step_hooks:
+                            hook(self)
+                return
+            pop = sched.pop
+            while len(sched):
+                when, _seq, event = pop()
+                self._now = when
+                self._event_count += 1
+                event._fire()
+                if self._step_hooks:
+                    for hook in self._step_hooks:
+                        hook(self)
+            return
         budget = max_events if max_events is not None else -1
-        while self._heap:
+        while len(sched):
             if stop is not None and stop.processed:
                 return
-            if until is not None and self._heap[0][0] >= until:
+            if until is not None and sched.peek_time() >= until:
                 self._now = until
                 return
             if budget == 0:

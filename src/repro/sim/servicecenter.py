@@ -113,8 +113,14 @@ class ServiceCenter:
         self._in_service -= 1
         self.utilization.on_stop(self.sim.now)
         self.completed += 1
-        if self._queue:
-            demand_ms, next_done = self._queue.popleft()
+        # Batched dequeue: drain every startable job in one pass.  A
+        # single completion frees exactly one server, so the loop body
+        # runs at most once today (same event stream as the old
+        # single-dequeue — golden-pinned); it only iterates further if
+        # capacity grows while jobs wait, instead of stranding them.
+        queue = self._queue
+        while queue and self._in_service < self.capacity:
+            demand_ms, next_done = queue.popleft()
             stashed = next_done._value
             next_done._value = None
             self._start(demand_ms, next_done, stashed)

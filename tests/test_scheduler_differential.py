@@ -1,0 +1,211 @@
+"""Differential tests: CalendarScheduler versus the reference heap.
+
+The determinism contract (DESIGN.md §17) says the two schedulers are
+*observationally identical*: they dequeue pending ``(time, seq, event)``
+entries in exactly the same order, including timestamp ties (broken by
+the monotonic sequence number) and zero-delay events scheduled from
+within handlers.  These tests attack that claim three ways:
+
+1. raw scheduler level — hypothesis drives both implementations with the
+   same adversarial push/pop interleavings and asserts entry-for-entry
+   equality, through grow and shrink resizes;
+2. kernel level — random callback cascades (with heavy zero-delay /
+   same-timestamp mass) fire in the same order under either scheduler;
+3. pinned regressions — the same-timestamp-from-within-a-handler FIFO
+   ordering that golden traces depend on (see ``Simulator._push``).
+
+Full-system equivalence (byte-identical golden digests under
+``REPRO_SCHEDULER=calendar``) lives in ``test_golden_trace.py``.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    SCHEDULERS,
+    CalendarScheduler,
+    HeapScheduler,
+    SimulationError,
+    Simulator,
+)
+
+#: Delay grid with deliberate mass on repeated values so that timestamp
+#: ties — the hard case for dequeue-order equality — are the common case,
+#: plus a huge outlier that forces the calendar's year-gap fallback scan.
+DELAYS = st.sampled_from(
+    [0.0, 0.0, 0.0, 0.25, 0.25, 1.0, 1.0, 3.5, 17.0, 1000.0, 250_000.0]
+)
+
+_OPS = st.lists(
+    st.one_of(st.tuples(st.just("push"), DELAYS), st.just(("pop",))),
+    min_size=1,
+    max_size=200,
+)
+
+
+# ---------------------------------------------------------------------------
+# 1. Raw scheduler level
+# ---------------------------------------------------------------------------
+@given(ops=_OPS)
+def test_pop_order_identical_under_interleaved_ops(ops):
+    """Any interleaving of pushes and pops yields entry-for-entry equal
+    dequeue streams from the heap and the calendar queue."""
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    seq = 0
+    now = 0.0  # last dequeued time: future pushes land at now + delay
+    for op in ops:
+        if op[0] == "push":
+            seq += 1
+            when = now + op[1]
+            heap.push(when, seq, None)
+            cal.push(when, seq, None)
+        elif len(heap):
+            assert len(heap) == len(cal)
+            got_h, got_c = heap.pop(), cal.pop()
+            assert got_h == got_c
+            now = got_h[0]
+    while len(heap):
+        assert heap.pop() == cal.pop()
+    assert len(cal) == 0
+    with pytest.raises(IndexError):
+        cal.pop()
+
+
+def test_resize_churn_preserves_order():
+    """Thousands of pushes force the calendar through grow resizes, the
+    drain through shrink resizes — order must match the heap throughout."""
+    rng = random.Random(0)
+    heap, cal = HeapScheduler(), CalendarScheduler()
+    now = 0.0
+    seq = 0
+    for seq in range(1, 5001):
+        # Bursty gaps: mostly dense, occasionally a big jump, so the
+        # resize width estimate sees non-uniform inter-event spacing.
+        now += rng.choice([0.0, 0.0, 0.01, 0.5, 0.5, 40.0])
+        heap.push(now, seq, None)
+        cal.push(now, seq, None)
+    assert cal._nbuckets > 8, "workload was meant to trigger a grow resize"
+    drained = 0
+    while len(heap):
+        assert heap.pop() == cal.pop()
+        drained += 1
+    assert drained == 5000
+    assert cal._nbuckets == 8, "full drain should shrink back to minimum"
+
+
+def test_year_gap_fallback_finds_global_minimum():
+    """Entries more than a calendar year apart exercise the direct-min
+    fallback; the popped order must still be strict (time, seq)."""
+    cal = CalendarScheduler(nbuckets=8, width=1.0)
+    # Same bucket (mod 8) at wildly different years, plus a tie.
+    cal.push(0.5, 1, None)
+    cal.push(8.5, 2, None)
+    cal.push(800.5, 3, None)
+    cal.push(800.5, 4, None)
+    assert [cal.pop()[:2] for _ in range(4)] == [
+        (0.5, 1), (8.5, 2), (800.5, 3), (800.5, 4)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# 2. Kernel level: random callback cascades
+# ---------------------------------------------------------------------------
+def _run_script(scheduler: str, script) -> list:
+    """Fire a cascade: batch 0 is scheduled up front; the k-th event to
+    fire schedules batch k (if any).  Returns the (time, id) firing log —
+    the complete observable behavior of the run."""
+    sim = Simulator(scheduler=scheduler)
+    order: list[tuple[float, int]] = []
+    ids = itertools.count()
+
+    def fire(idx: int) -> None:
+        order.append((sim.now, idx))
+        k = len(order)
+        if k < len(script):
+            for delay in script[k]:
+                sim.call_after(delay, fire, next(ids))
+
+    for delay in script[0]:
+        sim.call_after(delay, fire, next(ids))
+    sim.run()
+    return order
+
+
+@settings(deadline=None)
+@given(script=st.lists(st.lists(DELAYS, max_size=4), min_size=1, max_size=30))
+def test_kernel_firing_order_identical(script):
+    """Random cascades — including zero-delay children scheduled from
+    inside handlers at tied timestamps — fire identically under both
+    schedulers."""
+    assert _run_script("heap", script) == _run_script("calendar", script)
+
+
+# ---------------------------------------------------------------------------
+# 3. Pinned tie-break regressions (Simulator._push contract)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_same_timestamp_from_handler_fires_fifo(scheduler):
+    """Events scheduled *from within a handler* at the current timestamp
+    fire after the already-pending same-time events, in schedule order.
+    This pins the seq tie-break that golden digests rest on."""
+    sim = Simulator(scheduler=scheduler)
+    order = []
+
+    def late(tag: str) -> None:
+        order.append((sim.now, tag))
+
+    def handler() -> None:
+        order.append((sim.now, "handler"))
+        sim.call_after(0.0, late, "h1")
+        sim.call_at(sim.now, late, "h2")
+
+    sim.call_after(5.0, handler)
+    sim.call_after(5.0, late, "pre1")
+    sim.call_after(5.0, late, "pre2")
+    sim.run()
+    assert order == [
+        (5.0, "handler"), (5.0, "pre1"), (5.0, "pre2"),
+        (5.0, "h1"), (5.0, "h2"),
+    ]
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_zero_delay_self_reschedule_chain(scheduler):
+    """A handler rescheduling itself with delay 0 runs strictly after
+    each prior firing (seq keeps advancing), never starving or looping
+    within one timestamp pop."""
+    sim = Simulator(scheduler=scheduler)
+    fired = []
+
+    def tick(n: int) -> None:
+        fired.append((sim.now, n))
+        if n < 5:
+            sim.call_after(0.0, tick, n + 1)
+
+    sim.call_after(1.0, tick, 0)
+    sim.run()
+    assert fired == [(1.0, n) for n in range(6)]
+
+
+def test_scheduler_selection():
+    """Registry names, instances and the REPRO_SCHEDULER knob all select;
+    unknown names fail loudly."""
+    assert isinstance(Simulator(scheduler="heap").scheduler, HeapScheduler)
+    assert isinstance(
+        Simulator(scheduler="calendar").scheduler, CalendarScheduler
+    )
+    explicit = CalendarScheduler()
+    assert Simulator(scheduler=explicit).scheduler is explicit
+    with pytest.raises(SimulationError, match="unknown scheduler"):
+        Simulator(scheduler="splay-tree")
+
+
+def test_env_knob_selects_calendar(monkeypatch):
+    monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+    assert isinstance(Simulator().scheduler, CalendarScheduler)
+    monkeypatch.delenv("REPRO_SCHEDULER")
+    assert isinstance(Simulator().scheduler, HeapScheduler)

@@ -1,0 +1,109 @@
+"""Determinism tests for the sharded sweep runner.
+
+The contract (DESIGN.md §17): sharding experiment cells across worker
+processes changes *when* each cell runs, never *what* it produces —
+``workers=N`` output is byte-identical to a serial run.  The argument
+has three legs (worker isolation, per-cell seeding, ordered merge);
+these tests exercise all of them end to end with a fig2 smoke sweep,
+down to the serialized BENCH trajectory record.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.schema import dump_record, wrap_result
+from repro.experiments import defaults
+from repro.experiments.figures import ALL_SYSTEMS, fig2
+from repro.experiments.parallel import default_workers, run_cells
+from repro.experiments.runner import ExperimentConfig
+from repro.experiments.sweep import memory_sweep
+from repro.traces import datasets
+
+#: Small enough for the tier-1 suite, big enough that every system does
+#: peer fetches, disk reads and evictions (same shape as the golden runs).
+_SCALE = 0.005
+_REQUESTS = 300
+_CLIENTS = 8
+
+
+def _smoke_trace():
+    return datasets.scaled("rutgers", _SCALE, num_requests=_REQUESTS)
+
+
+@pytest.fixture
+def smoke_defaults(monkeypatch):
+    """Pin the scale knobs so fig2's internal workload() calls are tiny
+    and test output is independent of the ambient REPRO_* environment."""
+    monkeypatch.setattr(defaults, "SCALE", _SCALE)
+    monkeypatch.setattr(defaults, "NUM_REQUESTS", _REQUESTS)
+    monkeypatch.setattr(defaults, "NUM_CLIENTS", _CLIENTS)
+
+
+def test_fig2_parallel_bench_record_byte_identical(smoke_defaults, tmp_path):
+    """The headline determinism claim: a fig2 smoke sweep sharded across
+    4 workers emits a BENCH trajectory record byte-identical to the
+    serial run's — same payload, same params digest, same file bytes."""
+    kw = dict(trace_names=["rutgers"], num_nodes=4, memories_mb=[0.1, 0.5])
+    serial = fig2(workers=1, **kw)
+    sharded = fig2(workers=4, **kw)
+
+    params = {"scale": _SCALE, "requests": _REQUESTS, "clients": _CLIENTS}
+    paths = {}
+    for tag, data in [("w1", serial), ("w4", sharded)]:
+        record = wrap_result("fig2", data, seed=0, params=params)
+        paths[tag] = tmp_path / f"BENCH_fig2_{tag}.json"
+        dump_record(record, paths[tag])
+    assert paths["w1"].read_bytes() == paths["w4"].read_bytes()
+
+    # And the payload is live data, not a degenerate empty sweep.
+    panel = json.loads(paths["w1"].read_text())["data"]["rutgers"]
+    assert panel["memories_mb"] == [0.1, 0.5]
+    for system in ALL_SYSTEMS:
+        assert all(t > 0 for t in panel["throughput_rps"][system])
+
+
+def test_memory_sweep_parallel_matches_serial():
+    """memory_sweep regroups the flat sharded cell list back into
+    per-system series — every result must land in its serial position."""
+    trace = _smoke_trace()
+    kw = dict(
+        systems=["press", "cc-kmc"], memories_mb=[0.1, 0.5],
+        num_nodes=4, num_clients=_CLIENTS,
+    )
+    serial = memory_sweep(trace, workers=1, **kw)
+    sharded = memory_sweep(trace, workers=3, **kw)
+    assert list(serial) == list(sharded)
+    for label in serial:
+        for a, b in zip(serial[label], sharded[label]):
+            assert a.config.system == b.config.system
+            assert a.config.mem_mb_per_node == b.config.mem_mb_per_node
+            assert a.throughput_rps == b.throughput_rps
+            assert a.mean_response_ms == b.mean_response_ms
+            assert a.hit_rates == b.hit_rates
+
+
+def test_run_cells_preserves_submission_order():
+    """The ordered-merge leg in isolation: results come back in cell
+    order even when cells finish out of order across processes."""
+    trace = _smoke_trace()
+    mems = [0.1, 0.25, 0.5, 1.0]
+    cells = [
+        ExperimentConfig(
+            system="press", trace=trace, num_nodes=2,
+            mem_mb_per_node=m, num_clients=_CLIENTS,
+        )
+        for m in mems
+    ]
+    results = run_cells(cells, workers=4)
+    assert [r.config.mem_mb_per_node for r in results] == mems
+
+
+def test_default_workers_env_knob(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_WORKERS", "6")
+    assert default_workers() == 6
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    with pytest.raises(ValueError, match="REPRO_WORKERS"):
+        default_workers()
