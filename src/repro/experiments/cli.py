@@ -259,11 +259,12 @@ def sweep_command(argv) -> int:
         defaults.BENCH_MEMORY_MB if opts.memory_axis == "bench" else None
     )
     trace_names = opts.workloads or list(TRACE_NAMES)
-    n_cells = len(trace_names) * 4 * len(memories)
+    n_systems = len(figures.ALL_SYSTEMS)
+    n_cells = len(trace_names) * n_systems * len(memories)
     print(banner(f"sweep {opts.figure}"))
     print(f"cells             {n_cells} "
-          f"({len(trace_names)} traces x 4 systems x {len(memories)} "
-          f"memory points)")
+          f"({len(trace_names)} traces x {n_systems} systems x "
+          f"{len(memories)} memory points)")
     print(f"workers           {workers}")
     # Wall-clock is operator-facing progress reporting only; it never
     # feeds simulation state (results are a pure function of the cells).

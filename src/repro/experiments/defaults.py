@@ -35,9 +35,10 @@ __all__ = [
 PAPER_MEMORY_MB: list[float] = [4, 8, 16, 32, 64, 128, 256, 512]
 
 #: The trimmed axis the benchmark harness and the ``sweep`` CLI share
-#: (the paper's 4-512 MB endpoints + midpoints).  Both sides must use
-#: the same list — it feeds the params digest that the regression gate
-#: refuses to compare across.
+#: (every other point of the paper's 8-point 4-512 MB axis, starting at
+#: the 4 MB endpoint).  Both sides must use the same list — it feeds the
+#: params digest that the regression gate refuses to compare across, so
+#: it cannot change without re-seeding the baselines.
 BENCH_MEMORY_MB: list[float] = [4, 16, 64, 256]
 
 

@@ -357,8 +357,8 @@ class CalendarScheduler:
 
     Scheduling into the past (before the last popped entry) is the one
     thing the bucket scan cannot survive; the :class:`Simulator` already
-    forbids it (negative delays raise), and :meth:`push` guards it with
-    an assertion.
+    forbids it (negative delays raise), and :meth:`push` raises
+    :class:`SimulationError` if handed one anyway.
     """
 
     __slots__ = ("_buckets", "_nbuckets", "_width", "_count", "_cur",
@@ -385,9 +385,13 @@ class CalendarScheduler:
         self._bucket_top = (day + 1) * width
 
     def push(self, when: float, seq: int, event: Event) -> None:
-        assert when >= self._last_when, (
-            f"calendar queue: push into the past ({when} < {self._last_when})"
-        )
+        if when < self._last_when:
+            # A real error, not an assert: under ``python -O`` an assert
+            # would vanish and the bucket scan would silently corrupt.
+            raise SimulationError(
+                f"calendar queue: push into the past "
+                f"({when} < {self._last_when})"
+            )
         insort(self._buckets[int(when / self._width) % self._nbuckets],
                (when, seq, event))
         self._count += 1
@@ -400,7 +404,10 @@ class CalendarScheduler:
         Walks at most one year from the current day; if nothing lands
         within it (a big time gap), falls back to a direct min scan and
         jumps the calendar to that entry's day.  Updates ``_cur`` /
-        ``_bucket_top`` so the next scan resumes where this one ended.
+        ``_bucket_top`` so the next scan resumes where this one ended —
+        callers that do NOT remove the returned entry (peeks) must save
+        and restore that state, because committing it is only valid once
+        ``_last_when`` advances past the skipped buckets.
         """
         i = self._cur
         top = self._bucket_top
@@ -444,7 +451,16 @@ class CalendarScheduler:
     def peek_time(self) -> float:
         if not self._count:
             return float("inf")
-        return self._buckets[self._scan()][0][0]
+        # _scan() commits the scan position (_cur/_bucket_top) as it
+        # skips empty buckets, which is only safe when the found entry
+        # is actually removed.  A peek leaves _last_when untouched, so a
+        # later *legal* push (when >= _last_when) may land in a bucket
+        # behind a committed position and dequeue out of order.  Peek
+        # must therefore be side-effect-free: restore the scan state.
+        cur, top = self._cur, self._bucket_top
+        when = self._buckets[self._scan()][0][0]
+        self._cur, self._bucket_top = cur, top
+        return when
 
     def __len__(self) -> int:
         return self._count

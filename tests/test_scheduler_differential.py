@@ -41,7 +41,11 @@ DELAYS = st.sampled_from(
 )
 
 _OPS = st.lists(
-    st.one_of(st.tuples(st.just("push"), DELAYS), st.just(("pop",))),
+    st.one_of(
+        st.tuples(st.just("push"), DELAYS),
+        st.just(("pop",)),
+        st.just(("peek",)),
+    ),
     min_size=1,
     max_size=200,
 )
@@ -63,6 +67,10 @@ def test_pop_order_identical_under_interleaved_ops(ops):
             when = now + op[1]
             heap.push(when, seq, None)
             cal.push(when, seq, None)
+        elif op[0] == "peek":
+            # Peeks must be pure observers: interleaving them with the
+            # pushes/pops below must not perturb the dequeue stream.
+            assert heap.peek_time() == cal.peek_time()
         elif len(heap):
             assert len(heap) == len(cal)
             got_h, got_c = heap.pop(), cal.pop()
@@ -95,6 +103,33 @@ def test_resize_churn_preserves_order():
         drained += 1
     assert drained == 5000
     assert cal._nbuckets == 8, "full drain should shrink back to minimum"
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_peek_then_push_earlier_dequeues_in_order(scheduler):
+    """Peeking must not commit scan state: a later push of an *earlier*
+    time (legal — nothing has been popped yet) still dequeues first.
+    Regression for the calendar queue's peek advancing _cur/_bucket_top
+    past the bucket the earlier push would land in."""
+    sched = SCHEDULERS[scheduler]()
+    sched.push(100.0, 1, None)
+    assert sched.peek_time() == 100.0
+    assert sched.peek_time() == 100.0  # repeated peeks stay pure too
+    sched.push(2.0, 2, None)
+    assert sched.peek_time() == 2.0
+    assert sched.pop()[:2] == (2.0, 2)
+    assert sched.pop()[:2] == (100.0, 1)
+
+
+def test_calendar_push_into_past_raises():
+    """Pushing before the last popped time corrupts the bucket scan, so
+    it must fail loudly — a SimulationError, not an -O-strippable
+    assert."""
+    cal = CalendarScheduler()
+    cal.push(10.0, 1, None)
+    cal.pop()
+    with pytest.raises(SimulationError, match="push into the past"):
+        cal.push(5.0, 2, None)
 
 
 def test_year_gap_fallback_finds_global_minimum():
@@ -189,6 +224,30 @@ def test_zero_delay_self_reschedule_chain(scheduler):
     sim.call_after(1.0, tick, 0)
     sim.run()
     assert fired == [(1.0, n) for n in range(6)]
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_run_until_then_schedule_earlier(scheduler):
+    """run(until=...) peeks the queue every step; scheduling *after* it
+    returns, earlier than the still-pending event, must fire in time
+    order and never run the clock backwards.  Regression for the
+    calendar peek committing scan state (reproduced as: run(until=5)
+    then call_after(1) fired the t=100 callback first and sim.now
+    jumped from 100 back to 6)."""
+    sim = Simulator(scheduler=scheduler)
+    order: list[tuple[float, str]] = []
+
+    def fire(tag: str) -> None:
+        order.append((sim.now, tag))
+
+    sim.call_after(100.0, fire, "late")
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert order == []
+    sim.call_after(1.0, fire, "early")
+    sim.run()
+    assert order == [(6.0, "early"), (100.0, "late")]
+    assert sim.now == 100.0
 
 
 def test_scheduler_selection():
