@@ -5,21 +5,38 @@
     python -m repro.bench compare BENCH_fig2.json BENCH_a10_faults.json \\
         --baselines benchmarks/baselines --threshold 0.10
 
-Each record is diffed against ``<baselines>/<filename>``; the process
-exits 1 if any metric regressed past the threshold, a baseline metric is
-missing from the run, or the params digests disagree.  Records with no
-committed baseline are reported and skipped (the first run seeds them)
-unless ``--strict`` is given.
+Each record is diffed against ``<baselines>/<filename>``; records with
+no committed baseline are reported and skipped (the first run seeds
+them) unless ``--strict`` is given.  When the gate trips and
+``--explain-baseline`` / ``--explain-current`` point at attribution
+artifacts (``analyze --json`` summaries or profiled trace JSONL), an
+"explain" report naming the regressed phase is emitted as well.
+
+Exit codes (distinct so CI can tell the failure modes apart):
+
+* 0 — every record compared clean (or was skipped without ``--strict``);
+* 1 — regression gate tripped: a metric regressed past the threshold,
+  a baseline metric is missing from the run, or params digests disagree;
+* 2 — usage error (bad flags, unreadable record);
+* 3 — ``--strict`` and at least one record had no committed baseline
+  (no metric regressed — seeding the baseline fixes it).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .compare import compare_records, render_compare
 from .schema import load_record
+
+#: Exit codes, also documented in ``--help``.
+EXIT_CLEAN = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
+EXIT_MISSING_BASELINE = 3
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,7 +46,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     cmp_p = sub.add_parser(
-        "compare", help="diff trajectory records against baselines"
+        "compare", help="diff trajectory records against baselines",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  clean (all records within threshold; records without a\n"
+            "     baseline are skipped unless --strict)\n"
+            "  1  regression (metric past threshold, metric missing from\n"
+            "     the run, or params digest mismatch)\n"
+            "  2  usage error\n"
+            "  3  --strict and a record had no committed baseline\n"
+            "regression (1) takes precedence over missing baseline (3)."
+        ),
     )
     cmp_p.add_argument(
         "records", nargs="+", metavar="RECORD",
@@ -50,18 +78,71 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument(
         "--strict", action="store_true",
-        help="also fail when a record has no committed baseline",
+        help="also fail (exit 3) when a record has no committed baseline",
+    )
+    cmp_p.add_argument(
+        "--explain-baseline", default=None, metavar="FILE",
+        help="baseline attribution JSON (analyze --json) or profiled "
+             "trace JSONL; with --explain-current, a tripped gate also "
+             "emits a differential report naming the regressed phase",
+    )
+    cmp_p.add_argument(
+        "--explain-current", default=None, metavar="FILE",
+        help="current-run attribution JSON or profiled trace JSONL "
+             "(see --explain-baseline)",
+    )
+    cmp_p.add_argument(
+        "--explain-out", default=None, metavar="FILE",
+        help="also write the explain report as JSON to FILE",
     )
     return parser
+
+
+def _explain(args: argparse.Namespace) -> None:
+    """Gate tripped: emit the differential attribution report."""
+    from ..obs.diff import diff_attributions, load_attribution
+    from ..obs.reports import render_diff_report
+
+    try:
+        base = load_attribution(args.explain_baseline)
+        current = load_attribution(args.explain_current)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"explain: cannot read attribution input: {exc}",
+              file=sys.stderr)
+        return
+    report = diff_attributions(base, current)
+    print()
+    print("== explain: differential attribution "
+          f"({args.explain_baseline} -> {args.explain_current})")
+    print(render_diff_report(report))
+    if args.explain_out:
+        with open(args.explain_out, "w", encoding="utf-8") as fp:
+            json.dump(report, fp, indent=2, sort_keys=True, default=float)
+            fp.write("\n")
+        print(f"explain report -> {args.explain_out}")
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.baseline is not None and len(args.records) != 1:
         print("--baseline requires exactly one RECORD", file=sys.stderr)
-        return 2
-    failed = False
+        return EXIT_USAGE
+    if (args.explain_baseline is None) != (args.explain_current is None):
+        print("--explain-baseline and --explain-current go together",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if args.explain_out and args.explain_baseline is None:
+        print("--explain-out requires --explain-baseline/--explain-current",
+              file=sys.stderr)
+        return EXIT_USAGE
+    regressed = False
+    missing = False
     for rec_path in args.records:
-        current = load_record(rec_path)
+        try:
+            current = load_record(rec_path)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"compare: cannot read record {rec_path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
         if args.baseline is not None:
             base_path = Path(args.baseline)
         else:
@@ -70,15 +151,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"== {Path(rec_path).name}: no baseline at {base_path} "
                   f"— skipped (commit one to arm the gate)")
             if args.strict:
-                failed = True
+                missing = True
             continue
+        try:
+            baseline = load_record(base_path)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"compare: cannot read baseline {base_path}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
         result = compare_records(
-            current, load_record(base_path), threshold=args.threshold
+            current, baseline, threshold=args.threshold
         )
         print(render_compare(result))
         if not result.ok:
-            failed = True
-    return 1 if failed else 0
+            regressed = True
+    if regressed and args.explain_baseline is not None:
+        _explain(args)
+    if regressed:
+        return EXIT_REGRESSION
+    if missing:
+        return EXIT_MISSING_BASELINE
+    return EXIT_CLEAN
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -21,9 +21,20 @@ Usage::
         --crashes-per-node 2 --plan-out plan.json --trace chaos.jsonl
 
     # Offline analysis of a dumped run: attribution report, Perfetto
-    # export, windowed time series, slowest requests.
+    # export, windowed time series, slowest requests, and the
+    # cluster-wide critical-path profile.
     python -m repro.experiments.cli analyze trace.jsonl metrics.json \\
         --report --perfetto perfetto.json --timeseries --top 10
+    python -m repro.experiments.cli analyze trace.jsonl --critical
+
+    # Differential attribution: explain what changed between two runs
+    # (inputs are `analyze --json` summaries or raw trace JSONL).
+    python -m repro.experiments.cli analyze diff base.json current.json
+
+    # Windowed SLO evaluation over a run (alerts are deterministic
+    # `alert` point spans in the trace; works under chaos too).
+    python -m repro.experiments.cli run --slo slo.json --trace trace.jsonl
+    python -m repro.experiments.cli chaos --slo slo.json --slo-out report.json
 
     # Cache-behavior telemetry (CacheScope): record during a run, then
     # render tables/sparklines offline; --json emits the attribution
@@ -57,8 +68,8 @@ from . import ablations, defaults, figures, tables
 from .report import banner
 
 __all__ = [
-    "ARTIFACTS", "main", "run_command", "analyze_command", "chaos_command",
-    "sweep_command",
+    "ARTIFACTS", "main", "run_command", "analyze_command",
+    "analyze_diff_command", "chaos_command", "sweep_command",
 ]
 
 #: artifact name -> zero-argument renderer.
@@ -102,6 +113,56 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _add_slo_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="evaluate this SLO spec (JSON: window_ms, latency "
+                        "p95/p99 targets, availability, burn rate) over "
+                        "every measured completion; breaches emit "
+                        "deterministic `alert` point spans in the trace")
+    p.add_argument("--slo-out", metavar="FILE", default=None,
+                   help="write the SLO evaluation report JSON to FILE "
+                        "(implies --slo is required)")
+
+
+def _load_slo_spec(opts):
+    """Parse --slo/--slo-out into an SloSpec (or None); raises SystemExit
+    with code 2 on a bad spec."""
+    if opts.slo is None:
+        if opts.slo_out:
+            print("--slo-out requires --slo SPEC", file=sys.stderr)
+            raise SystemExit(2)
+        return None
+    from ..obs.slo import SloSpec
+
+    try:
+        return SloSpec.load(opts.slo)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError,
+            ValueError) as exc:
+        print(f"cannot load SLO spec {opts.slo}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _print_slo(report, opts) -> None:
+    """Print an SLO evaluation report and honour --slo-out.
+
+    ``report`` must come from ``obs.slo.finalize()`` called *before* the
+    trace is dumped — finalize closes the last window, and its alerts
+    must land in the dumped JSONL.
+    """
+    if report is None:
+        return
+    from ..obs.reports import render_slo_report
+
+    print()
+    print(banner(f"SLO evaluation: {opts.slo}"))
+    print(render_slo_report(report))
+    if opts.slo_out:
+        with open(opts.slo_out, "w", encoding="utf-8") as fp:
+            json.dump(report, fp, indent=2, sort_keys=True, default=float)
+            fp.write("\n")
+        print(f"slo report        -> {opts.slo_out}")
+
+
 def _run_parser() -> argparse.ArgumentParser:
     from ..traces.datasets import TRACE_NAMES
     from .runner import SYSTEMS
@@ -136,6 +197,7 @@ def _run_parser() -> argparse.ArgumentParser:
                    help="record cache-behavior telemetry (duplicate share, "
                         "eviction provenance, forwarding hops) and dump it "
                         "as JSONL to FILE; render with `analyze --cache`")
+    _add_slo_args(p)
     return p
 
 
@@ -145,6 +207,7 @@ def run_command(argv) -> int:
     from .runner import ExperimentConfig, run_experiment
 
     opts = _run_parser().parse_args(argv)
+    slo_spec = _load_slo_spec(opts)
     trace = defaults.workload(opts.workload)
     cfg = ExperimentConfig(
         system=opts.system,
@@ -161,8 +224,12 @@ def run_command(argv) -> int:
         invariant_every=opts.invariant_every,
         profile=opts.profile,
         cachestats=opts.cachestats is not None,
+        slo=slo_spec,
     )
     result = run_experiment(cfg, obs=obs)
+    # Close the last SLO window before the trace is dumped so its alerts
+    # are part of the JSONL (and the golden digest, when pinned).
+    slo_report = obs.slo.finalize() if obs.slo is not None else None
 
     print(banner(f"run {cfg.system_name()} / {opts.workload}"))
     print(f"throughput        {result.throughput_rps:.1f} req/s")
@@ -208,6 +275,7 @@ def run_command(argv) -> int:
             attribute(obs.tracer.records),
             metrics=obs.registry.snapshot(),
         ))
+    _print_slo(slo_report, opts)
     return 0
 
 
@@ -331,6 +399,7 @@ def _chaos_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="phase spans + critical-path report (fault waits "
                         "show up as fault.detect / retry.backoff)")
+    _add_slo_args(p)
     return p
 
 
@@ -343,6 +412,7 @@ def chaos_command(argv) -> int:
     from .runner import ExperimentConfig, run_experiment
 
     opts = _chaos_parser().parse_args(argv)
+    slo_spec = _load_slo_spec(opts)
     trace = defaults.workload(opts.workload)
     base_cfg = ExperimentConfig(
         system=opts.system,
@@ -377,9 +447,10 @@ def chaos_command(argv) -> int:
     if opts.plan_out:
         plan.dump(opts.plan_out)
     obs = Observability(
-        trace=opts.trace is not None, profile=opts.profile
+        trace=opts.trace is not None, profile=opts.profile, slo=slo_spec
     )
     result = run_experiment(replace(base_cfg, faults=plan), obs=obs)
+    slo_report = obs.slo.finalize() if obs.slo is not None else None
 
     print(banner(f"chaos {base_cfg.system_name()} / {opts.workload}"))
     print(f"fault plan        {len(plan)} events over "
@@ -424,6 +495,7 @@ def chaos_command(argv) -> int:
             attribute(obs.tracer.records),
             metrics=obs.registry.snapshot(),
         ))
+    _print_slo(slo_report, opts)
     return 0
 
 
@@ -459,15 +531,69 @@ def _analyze_parser() -> argparse.ArgumentParser:
                    help="time-series window width (default: run length / 60)")
     p.add_argument("--top", type=_non_negative_int, default=0, metavar="K",
                    help="print the K slowest requests with span trees")
+    p.add_argument("--critical", action="store_true",
+                   help="print the cluster-wide critical-path profile "
+                        "(per-phase critical seconds + top critical edges)")
+    p.add_argument("--critical-out", metavar="FILE", default=None,
+                   help="write the critical-path profile as JSON to FILE")
     p.add_argument("--all-requests", action="store_true",
                    help="include warm-up requests, not just measured ones")
     return p
+
+
+def _diff_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments analyze diff",
+        description="Differential attribution between two runs: a "
+                    "phase-by-phase delta report naming the regressed "
+                    "(or improved) phase, with a conservation check "
+                    "(phase deltas sum to the mean-response delta).  "
+                    "Inputs are `analyze --json` summaries or raw trace "
+                    "JSONL dumps (sniffed automatically).",
+    )
+    p.add_argument("base", metavar="BASE",
+                   help="baseline attribution JSON or trace JSONL")
+    p.add_argument("current", metavar="CURRENT",
+                   help="current attribution JSON or trace JSONL")
+    p.add_argument("--json", metavar="FILE", default=None, dest="json_out",
+                   help="write the diff report as JSON to FILE "
+                        "('-' for stdout)")
+    return p
+
+
+def analyze_diff_command(argv) -> int:
+    """``analyze diff`` subcommand: explain what changed between runs."""
+    from ..obs.diff import diff_attributions, load_attribution
+    from ..obs.reports import render_diff_report
+
+    opts = _diff_parser().parse_args(argv)
+    try:
+        base = load_attribution(opts.base)
+        current = load_attribution(opts.current)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"analyze diff: cannot read input: {exc}", file=sys.stderr)
+        return 2
+    report = diff_attributions(base, current)
+    if opts.json_out:
+        text = json.dumps(report, indent=2, sort_keys=True, default=float)
+        if opts.json_out == "-":
+            print(text)
+        else:
+            with open(opts.json_out, "w", encoding="utf-8") as fp:
+                fp.write(text + "\n")
+            print(f"diff json         -> {opts.json_out}")
+    if opts.json_out != "-":
+        print(banner(f"diff: {opts.base} -> {opts.current}"))
+        print(render_diff_report(report))
+    return 0
 
 
 def analyze_command(argv) -> int:
     """``analyze`` subcommand: reports over dumped trace/metrics files."""
     from ..obs.analyze import attribute, load_jsonl
 
+    if argv and argv[0] == "diff":
+        return analyze_diff_command(argv[1:])
     opts = _analyze_parser().parse_args(argv)
     if opts.trace is None and not opts.cache:
         print("analyze: a TRACE file is required unless --cache is given",
@@ -500,7 +626,7 @@ def analyze_command(argv) -> int:
     measured_only = not opts.all_requests
     want_report = opts.report or not (
         opts.perfetto or opts.timeseries or opts.timeseries_out or opts.top
-        or opts.json_out or opts.cache
+        or opts.json_out or opts.cache or opts.critical or opts.critical_out
     )
 
     if opts.json_out:
@@ -530,6 +656,21 @@ def analyze_command(argv) -> int:
         print(render_top_requests(
             records, k=opts.top, measured_only=measured_only
         ))
+    if opts.critical or opts.critical_out:
+        from ..obs.critical import critical_profile
+
+        profile = critical_profile(records, measured_only=measured_only)
+        if opts.critical_out:
+            with open(opts.critical_out, "w", encoding="utf-8") as fp:
+                json.dump(profile, fp, indent=2, sort_keys=True,
+                          default=float)
+                fp.write("\n")
+            print(f"critical profile  -> {opts.critical_out}")
+        if opts.critical:
+            from ..obs.reports import render_critical_report
+
+            print(banner(f"critical path: {opts.trace}"))
+            print(render_critical_report(profile))
     if opts.timeseries or opts.timeseries_out:
         from ..obs.timeseries import build_timeseries, dump_timeseries
 

@@ -29,6 +29,8 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profile import NULL_PROFILER, NullProfiler, Profiler
+from .schema import OUTPUT_SCHEMA_VERSION
+from .slo import SloEvaluator, SloSpec
 from .tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -50,6 +52,9 @@ __all__ = [
     "NULL_CACHESCOPE",
     "InvariantSampler",
     "Observability",
+    "OUTPUT_SCHEMA_VERSION",
+    "SloSpec",
+    "SloEvaluator",
 ]
 
 
@@ -67,7 +72,11 @@ class Observability:
     :class:`~repro.obs.cachestats.CacheScope` recording cache-behavior
     telemetry (duplicate share, eviction provenance, forwarding hops);
     it is passive — no simulator events — so traces are byte-identical
-    with it on or off.
+    with it on or off.  ``slo=SloSpec(...)`` attaches an
+    :class:`~repro.obs.slo.SloEvaluator`: the driver feeds it every
+    measured completion and breaches emit deterministic ``alert`` point
+    spans through the tracer; call ``obs.slo.finalize()`` after the run
+    for the report.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class Observability:
         profile: bool = False,
         cachestats: bool = False,
         cachestats_window_ms: float = 100.0,
+        slo: SloSpec | None = None,
     ):
         if invariant_every < 0:
             raise ValueError("invariant_every must be >= 0")
@@ -88,6 +98,7 @@ class Observability:
             CacheScope(window_ms=cachestats_window_ms)
             if cachestats else NULL_CACHESCOPE
         )
+        self.slo = SloEvaluator(slo, tracer=self.tracer) if slo else None
         self.invariant_every = invariant_every
         #: Set by the runner when sampling is active (for introspection).
         self.sampler: InvariantSampler | None = None

@@ -31,6 +31,7 @@ from collections.abc import Iterable
 from typing import Any
 
 from .profile import PHASE_SPAN
+from .schema import as_report
 
 __all__ = [
     "PHASE_ORDER",
@@ -460,7 +461,6 @@ def attribution_to_dict(
     consume without scraping tables.
     """
     out: dict[str, Any] = {
-        "schema_version": 1,
         "requests": attr.count,
         "mean_response_ms": attr.mean_response_ms,
         "mean_residual_ms": attr.mean_residual_ms,
@@ -477,4 +477,4 @@ def attribution_to_dict(
     out["binding_resource"] = (
         binding_resource(metrics) if metrics is not None else None
     )
-    return out
+    return as_report("attribution", out)

@@ -1,0 +1,292 @@
+"""Critical-path extraction over the causal span DAG.
+
+:mod:`repro.obs.analyze` answers "where was time *spent*" — it sums
+phase durations into buckets.  This module answers the sharper question
+"where was latency *created*": for each request it extracts the
+**critical path**, the ordered chain of leaf intervals that actually
+bounded the response time, and aggregates those chains cluster-wide.
+
+The walk uses the same two structural facts the analyzer rests on:
+
+* serial protocol coroutines — the phase spans (and nested sub-spans)
+  under a span tile its interval, so every serial child is on the
+  critical path and gaps between children are genuine unexplained wait;
+* parallel fan-out happens only behind a ``fetch`` phase whose spawned
+  spans are *siblings* under the same parent — a backward walk from the
+  end of the fetch interval (always stepping to the candidate ending
+  latest but no later than the current frontier) recovers the serial
+  chain that bounded the wait, and uncovered time is waiting on another
+  request's work (coalesce / peer / disk queue).
+
+Unlike ``attribute()`` the result is *ordered*: each request yields a
+list of :class:`CriticalSegment` tiling its root span exactly, which
+lets :func:`critical_profile` aggregate per-phase critical-seconds *and*
+the top-K critical **edges** — the phase→phase (node→node) transitions
+latency flows through most.  By the tiling property, per-phase critical
+milliseconds sum to the same totals ``attribute()`` reports, so the
+conservation argument (phases sum to measured mean response, ~0
+residual) carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import defaultdict
+from dataclasses import dataclass
+from collections.abc import Iterable
+from typing import Any
+
+from .analyze import (
+    _EPS,
+    _contains,
+    SpanNode,
+    build_trees,
+    request_roots,
+)
+from .profile import PHASE_SPAN
+from .schema import as_report
+
+__all__ = [
+    "CriticalSegment",
+    "critical_path",
+    "critical_profile",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class CriticalSegment:
+    """One leaf interval on a request's critical path."""
+
+    #: Attribution bucket (``disk.queue``, ``cpu.service``, ...).
+    phase: str
+    #: Name of the span the interval came from (``"ph"`` for phases).
+    name: str
+    node: int | None
+    start: float
+    end: float
+
+    @property
+    def dur(self) -> float:
+        return self.end - self.start
+
+
+def _seg(phase: str, src: SpanNode, start: float, end: float,
+         out: list[CriticalSegment]) -> None:
+    """Append a segment unless it is empty (within float slack)."""
+    if end - start > _EPS:
+        out.append(CriticalSegment(phase, src.name, src.node, start, end))
+
+
+def _fill_gaps(
+    lo: float,
+    hi: float,
+    covered: list[tuple[float, float]],
+    bucket: str,
+    src: SpanNode,
+    out: list[CriticalSegment],
+) -> None:
+    """Emit ``bucket`` segments for the parts of [lo, hi] not covered."""
+    cur = lo
+    for s, e in sorted(covered):
+        if s > cur + _EPS:
+            _seg(bucket, src, cur, s, out)
+        if e > cur:
+            cur = e
+    if hi > cur + _EPS:
+        _seg(bucket, src, cur, hi, out)
+
+
+def _phase_segments(p: SpanNode, out: list[CriticalSegment]) -> None:
+    """Split one profiler phase span into bucket-labelled segments.
+
+    The queue/service split mirrors ``analyze._attribute_phase``: the
+    stamps (``q`` / ``svc`` / ``seek``) position the service portion at
+    the *end* of the wait, which is where the service center ran it.
+    """
+    attrs = p.attrs
+    name = attrs.get("p", "other")
+    s, e = p.start, p.end
+    dur = p.dur or 0.0
+    if name in ("cpu", "nic", "bus"):
+        q = min(max(attrs.get("q", 0.0), 0.0), dur)
+        _seg(f"{name}.queue", p, s, s + q, out)
+        _seg(f"{name}.service", p, s + q, e, out)
+    elif name == "disk":
+        svc = min(attrs.get("svc", dur), dur)
+        seek = min(max(attrs.get("seek", 0.0), 0.0), svc)
+        _seg("disk.queue", p, s, e - svc, out)
+        _seg("disk.seek", p, e - svc, e - svc + seek, out)
+        _seg("disk.transfer", p, e - svc + seek, e, out)
+    elif name in ("router", "wire"):
+        _seg(name, p, s, e, out)
+    elif name == "master_wait":
+        _seg("master.wait", p, s, e, out)
+    elif name == "coalesce_wait":
+        _seg("coalesce.wait", p, s, e, out)
+    elif name == "fault_detect":
+        _seg("fault.detect", p, s, e, out)
+    elif name == "retry_wait":
+        _seg("retry.backoff", p, s, e, out)
+    elif name == "fetch":
+        _fetch_segments(p, out)
+    else:
+        _seg("other", p, s, e, out)
+
+
+def _fetch_segments(p: SpanNode, out: list[CriticalSegment]) -> None:
+    """Critical chain through a parallel fan-out wait.
+
+    Same backward walk as ``analyze._refine_fetch`` — the chosen spans
+    are pairwise disjoint by construction (each new frontier is the
+    previous choice's start) — but the chain is kept as ordered
+    intervals, and uncovered time becomes wait segments labelled by what
+    the fan-out contained (coalesce / peer / disk queue).
+    """
+    parent = p.parent
+    candidates = [
+        c for c in (parent.children if parent is not None else [])
+        if c is not p and _contains(p, c) and (c.dur or 0.0) > 0.0
+    ]
+    frontier = p.end
+    chosen: list[SpanNode] = []
+    used: set = set()
+    while True:
+        best = None
+        for c in candidates:
+            if c.span_id in used or c.end > frontier + _EPS:
+                continue
+            if best is None or (c.end, c.dur, c.span_id) > (
+                best.end, best.dur, best.span_id
+            ):
+                best = c
+        if best is None:
+            break
+        used.add(best.span_id)
+        chosen.append(best)
+        frontier = best.start
+        if frontier <= p.start + _EPS:
+            break
+    for c in chosen:
+        if c.name == PHASE_SPAN:
+            _phase_segments(c, out)
+        else:
+            _span_segments(c, out)
+    attrs = p.attrs
+    if attrs.get("j"):
+        bucket = "coalesce.wait"
+    elif attrs.get("pe"):
+        bucket = "peer.wait"
+    else:
+        bucket = "disk.queue"
+    _fill_gaps(p.start, p.end, [(c.start, c.end) for c in chosen],
+               bucket, p, out)
+
+
+def _span_segments(span: SpanNode, out: list[CriticalSegment]) -> None:
+    """Serial decomposition of a span into ordered leaf segments.
+
+    Uses the same child filter as ``analyze._decompose_span``: phase
+    spans plus sub-spans not contained in any phase interval tile the
+    span; anything uncovered is an ``other`` gap.
+    """
+    children = [c for c in span.children if c.dur is not None]
+    ph_children = [c for c in children if c.name == PHASE_SPAN]
+    segments = [
+        c for c in children
+        if not any(p is not c and _contains(p, c) for p in ph_children)
+    ]
+    for child in segments:
+        if child.name == PHASE_SPAN:
+            _phase_segments(child, out)
+        else:
+            _span_segments(child, out)
+    if span.dur is not None:
+        _fill_gaps(span.start, span.end,
+                   [(c.start, c.end) for c in segments],
+                   "other", span, out)
+
+
+def critical_path(root: SpanNode) -> list[CriticalSegment]:
+    """The ordered critical path of one finished request root.
+
+    Segments are non-overlapping, sorted by start time, and tile the
+    root span exactly: their durations sum to the root duration up to
+    float tolerance.
+    """
+    segs: list[CriticalSegment] = []
+    _span_segments(root, segs)
+    segs.sort(key=lambda s: (s.start, s.end))
+    return segs
+
+
+def _edge_key(a: CriticalSegment, b: CriticalSegment) -> str:
+    a_node = "-" if a.node is None else str(a.node)
+    b_node = "-" if b.node is None else str(b.node)
+    return f"{a.phase}@{a_node} -> {b.phase}@{b_node}"
+
+
+def critical_profile(
+    records: Iterable[dict[str, Any]],
+    top_edges: int = 10,
+    measured_only: bool = True,
+) -> dict[str, Any]:
+    """Cluster-wide critical-path profile over a profiled trace.
+
+    Returns a shared-schema ``critical`` report::
+
+        {"schema_version": ..., "kind": "critical",
+         "requests": N,
+         "mean_critical_ms": ...,      # == mean response time
+         "mean_residual_ms": ...,      # tiling error (float noise)
+         "phase_critical_ms": {...},   # total critical ms per phase
+         "phase_critical_share": {...},
+         "top_edges": [{"edge": "disk.queue@3 -> disk.transfer@3",
+                        "count": ..., "ms": ...}, ...]}
+
+    The *edges* are consecutive critical-segment transitions, weighted
+    by the downstream segment's duration — they name the hand-offs
+    latency flows through, which is where a fix actually lands.
+    """
+    roots, _index = build_trees(records)
+    reqs = request_roots(roots, measured_only=measured_only)
+    phase_ms: dict[str, float] = defaultdict(float)
+    edges: dict[str, dict[str, float]] = {}
+    total_dur = 0.0
+    total_attr = 0.0
+    for root in reqs:
+        path = critical_path(root)
+        total_dur += root.dur or 0.0
+        prev: CriticalSegment | None = None
+        for seg in path:
+            phase_ms[seg.phase] += seg.dur
+            total_attr += seg.dur
+            if prev is not None:
+                key = _edge_key(prev, seg)
+                stats = edges.get(key)
+                if stats is None:
+                    stats = edges[key] = {"count": 0, "ms": 0.0}
+                stats["count"] += 1
+                stats["ms"] += seg.dur
+            prev = seg
+    n = len(reqs)
+    logger.info("critical profile over %d requests (%d edges)",
+                n, len(edges))
+    ranked = sorted(
+        edges.items(), key=lambda kv: (-kv[1]["ms"], kv[0])
+    )[:top_edges]
+    return as_report("critical", {
+        "requests": n,
+        "mean_critical_ms": total_dur / n if n else 0.0,
+        "mean_residual_ms": (total_dur - total_attr) / n if n else 0.0,
+        "phase_critical_ms": dict(sorted(phase_ms.items())),
+        "phase_critical_share": {
+            phase: ms / total_attr if total_attr else 0.0
+            for phase, ms in sorted(phase_ms.items())
+        },
+        "top_edges": [
+            {"edge": key, "count": int(stats["count"]), "ms": stats["ms"]}
+            for key, stats in ranked
+        ],
+    })

@@ -6,10 +6,14 @@ Maps the simulator's span JSONL onto the Chrome trace-event JSON format:
   with no node — router, wire, client roots — get ``pid`` 0 relabelled
   "cluster");
 * **thread** = lane within the node: one lane for request/protocol
-  spans, one per device class for profiler phase spans;
+  spans, one per device class for profiler phase spans, one ``events``
+  lane for fault-injection (``fault``) and SLO (``alert``) points;
 * finished spans become complete (``"X"``) events, zero-duration spans
   become instants (``"i"``), and process/thread names are declared with
-  metadata (``"M"``) events.
+  metadata (``"M"``) events;
+* spans flagged ``unfinished`` (a dump taken mid-run, or a request cut
+  short by a crash) become instants at their start time carrying
+  ``"unfinished": true`` in ``args`` — never silently dropped.
 
 Timestamps: the simulator's milliseconds are exported as microseconds
 (``ts`` / ``dur``), the unit the format specifies.
@@ -31,7 +35,7 @@ logger = logging.getLogger(__name__)
 #: Thread lanes per process, in display order.
 _LANES = (
     "requests", "protocol", "cpu", "nic", "bus", "disk",
-    "wire", "router", "wait",
+    "wire", "router", "wait", "events",
 )
 _LANE_TID = {name: i for i, name in enumerate(_LANES)}
 
@@ -63,6 +67,8 @@ def _lane(rec: dict[str, Any]) -> str:
         return _PHASE_LANE.get(phase, "wait")
     if rec["name"] in ("client", "request"):
         return "requests"
+    if rec["name"] in ("fault", "alert"):
+        return "events"
     return "protocol"
 
 
@@ -78,12 +84,9 @@ def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     events: list[dict[str, Any]] = []
     pids: dict[int, str] = {}
     lanes_used: dict[int, set] = {}
-    skipped_unfinished = 0
+    unfinished = 0
 
     for rec in records:
-        if rec.get("end") is None:
-            skipped_unfinished += 1
-            continue
         pid = _pid(rec)
         lane = _lane(rec)
         pids.setdefault(
@@ -94,7 +97,6 @@ def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         args = {"trace": rec["trace"], "span": rec["span"]}
         args.update(rec.get("attrs", {}))
         ts_us = rec["start"] * 1000.0
-        dur_us = (rec["end"] - rec["start"]) * 1000.0
         base = {
             "name": _event_name(rec),
             "cat": "sim",
@@ -103,9 +105,16 @@ def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             "ts": ts_us,
             "args": args,
         }
-        if dur_us > 0.0:
+        if rec.get("end") is None:
+            # A span cut short (mid-run dump, crash-orphaned request):
+            # an instant at its start, explicitly flagged.
+            unfinished += 1
+            args["unfinished"] = True
+            base["ph"] = "i"
+            base["s"] = "t"
+        elif rec["end"] > rec["start"]:
             base["ph"] = "X"
-            base["dur"] = dur_us
+            base["dur"] = (rec["end"] - rec["start"]) * 1000.0
         else:
             base["ph"] = "i"
             base["s"] = "t"
@@ -122,9 +131,9 @@ def to_chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
                 "name": "thread_name", "ph": "M", "pid": pid,
                 "tid": _LANE_TID[lane], "args": {"name": lane},
             })
-    if skipped_unfinished:
-        logger.warning("chrome export skipped %d unfinished spans",
-                       skipped_unfinished)
+    if unfinished:
+        logger.warning("chrome export flagged %d unfinished spans "
+                       "as instants", unfinished)
     return {
         "traceEvents": meta + events,
         "displayTimeUnit": "ms",

@@ -1,14 +1,20 @@
 """Human-readable reports over trace analysis results.
 
-Three renderers, all plain text (terminal / CI-log friendly):
+All renderers are plain text (terminal / CI-log friendly):
 
 * :func:`render_profile_report` — the bottleneck report: per-phase
   attribution table summing to measured mean response time, per-class
   breakdowns, and the binding resource named from per-node utilizations;
 * :func:`render_top_requests` — the top-K slowest requests with their
-  span trees pretty-printed;
+  span trees pretty-printed (unfinished requests listed separately);
 * :func:`render_timeseries` — windowed throughput / composition /
-  utilization as charts and sparklines.
+  utilization as charts and sparklines;
+* :func:`render_critical_report` — where latency is *created*: the
+  cluster-wide critical-path profile with its top critical edges;
+* :func:`render_diff_report` — the "explain" report between two runs'
+  attributions, with the conservation check;
+* :func:`render_slo_report` — windowed SLO evaluation: alerts,
+  breached windows, burn-rate sparkline.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ from ..experiments.charts import line_chart, sparkline
 from ..experiments.report import format_table
 from .analyze import (
     PHASE_ORDER,
+    REQUEST_ROOT_NAMES,
     Attribution,
     SpanNode,
     binding_resource,
@@ -34,6 +41,9 @@ __all__ = [
     "render_top_requests",
     "render_timeseries",
     "render_cache_report",
+    "render_critical_report",
+    "render_diff_report",
+    "render_slo_report",
     "format_span_tree",
 ]
 
@@ -170,25 +180,50 @@ def render_top_requests(
     records: Iterable[dict[str, Any]], k: int = 10,
     measured_only: bool = True,
 ) -> str:
-    """The K slowest requests, each with its span tree."""
+    """The K slowest requests, each with its span tree.
+
+    Request roots without an end timestamp cannot be ranked by duration
+    — silently dropping (or zero-ranking) them would hide exactly the
+    requests a crash cut short — so they get their own "unfinished"
+    section after the ranking.
+    """
     roots, _index = build_trees(records)
     reqs = request_roots(roots, measured_only=measured_only)
+    unfinished = [
+        r for r in roots if r.name in REQUEST_ROOT_NAMES and r.dur is None
+    ]
+    parts: list[str] = []
     if not reqs:
-        return "no finished request roots in trace"
-    slowest = sorted(reqs, key=lambda r: (-(r.dur or 0.0), r.span_id))[:k]
-    parts: list[str] = [f"top {len(slowest)} slowest requests"]
-    for rank, root in enumerate(slowest, 1):
-        profile = decompose_request(root)
-        top_phases = sorted(
-            profile.phases.items(), key=lambda kv: -kv[1]
-        )[:3]
-        summary = ", ".join(f"{p} {ms:.3f}ms" for p, ms in top_phases)
+        parts.append("no finished request roots in trace")
+    else:
+        slowest = sorted(
+            reqs, key=lambda r: (-(r.dur or 0.0), r.span_id)
+        )[:k]
+        parts.append(f"top {len(slowest)} slowest requests")
+        for rank, root in enumerate(slowest, 1):
+            profile = decompose_request(root)
+            top_phases = sorted(
+                profile.phases.items(), key=lambda kv: -kv[1]
+            )[:3]
+            summary = ", ".join(f"{p} {ms:.3f}ms" for p, ms in top_phases)
+            parts.append("")
+            parts.append(
+                f"#{rank} trace {root.trace_id} cls={profile.cls or '?'} "
+                f"{profile.dur:.4f} ms  (top phases: {summary})"
+            )
+            parts.append(format_span_tree(root))
+    if unfinished:
         parts.append("")
         parts.append(
-            f"#{rank} trace {root.trace_id} cls={profile.cls or '?'} "
-            f"{profile.dur:.4f} ms  (top phases: {summary})"
+            f"unfinished requests ({len(unfinished)}) — no end "
+            "timestamp, excluded from the ranking:"
         )
-        parts.append(format_span_tree(root))
+        for root in sorted(unfinished, key=lambda r: (r.start, r.span_id)):
+            where = f" node={root.node}" if root.node is not None else ""
+            parts.append(
+                f"  trace {root.trace_id} span {root.span_id}{where} "
+                f"started @{root.start:.3f} ms"
+            )
     return "\n".join(parts)
 
 
@@ -357,4 +392,172 @@ def render_cache_report(snap: dict[str, Any], ledger_tail: int = 10) -> str:
                 f"{kind:<7} {entry.get('key', '?')}{dest} "
                 f"(replicas held: {entry.get('nonmasters_held', 0)})"
             )
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# critical-path profile report
+# ---------------------------------------------------------------------------
+def render_critical_report(profile: dict[str, Any]) -> str:
+    """Tables for a :func:`repro.obs.critical.critical_profile` result."""
+    n = profile.get("requests", 0)
+    if not n:
+        return ("no finished request roots in trace "
+                "(was the run profiled with --profile?)")
+    phase_ms = profile.get("phase_critical_ms", {})
+    share = profile.get("phase_critical_share", {})
+    known = [p for p in PHASE_ORDER if p in phase_ms]
+    extra = sorted(set(phase_ms) - set(PHASE_ORDER))
+    rows = [
+        (p, phase_ms[p] / n, 100.0 * share.get(p, 0.0))
+        for p in known + extra
+    ]
+    rows.append(("total = mean critical path",
+                 profile.get("mean_critical_ms", 0.0), 100.0))
+    parts = [format_table(
+        ["phase", "critical ms/req", "share %"], rows,
+        title=f"critical-path profile ({n} requests)", ndigits=4,
+    )]
+    parts.append(
+        f"tiling residual: {profile.get('mean_residual_ms', 0.0):.6f} "
+        "ms/req (float noise)"
+    )
+    edges = profile.get("top_edges", [])
+    if edges:
+        parts.append("")
+        parts.append(format_table(
+            ["critical edge (phase@node)", "count", "total ms"],
+            [(e["edge"], e["count"], e["ms"]) for e in edges],
+            title="top critical edges (latency hand-offs)", ndigits=3,
+        ))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# differential ("explain") report
+# ---------------------------------------------------------------------------
+def render_diff_report(diff: dict[str, Any]) -> str:
+    """The explain report for a
+    :func:`repro.obs.diff.diff_attributions` result."""
+    base = diff.get("base", {})
+    cur = diff.get("current", {})
+    delta = diff.get("delta_ms", 0.0)
+    phase_delta = diff.get("phase_delta_ms", {})
+    known = [p for p in PHASE_ORDER if p in phase_delta]
+    extra = sorted(set(phase_delta) - set(PHASE_ORDER))
+    rows = []
+    for p in known + extra:
+        d = phase_delta[p]
+        rows.append((p, d, 100.0 * d / delta if delta else 0.0))
+    rows.append(("(residual)", diff.get("residual_delta_ms", 0.0),
+                 100.0 * diff.get("residual_delta_ms", 0.0) / delta
+                 if delta else 0.0))
+    rows.append(("total = Δ mean response", delta, 100.0))
+    parts = [format_table(
+        ["phase", "Δ ms/req", "share of Δ %"], rows,
+        title=(
+            f"differential attribution "
+            f"({base.get('requests', 0)} -> {cur.get('requests', 0)} "
+            f"requests, {base.get('mean_response_ms', 0.0):.4f} -> "
+            f"{cur.get('mean_response_ms', 0.0):.4f} ms)"
+        ),
+        ndigits=4,
+    )]
+    parts.append(
+        f"conservation check: phase deltas + residual - Δ = "
+        f"{diff.get('conservation_residual_ms', 0.0):.6f} ms (~0 expected)"
+    )
+    parts.append("")
+    if delta > 0.0 and diff.get("regressed_phase"):
+        top = diff["top_regressions"][0]
+        parts.append(
+            f"regression explained by: {top['phase']} "
+            f"({top['delta_ms']:+.4f} ms/req, "
+            f"{100.0 * top['share']:.0f}% of the {delta:+.4f} ms delta)"
+        )
+    elif delta < 0.0 and diff.get("improved_phase"):
+        top = diff["top_improvements"][0]
+        parts.append(
+            f"improvement explained by: {top['phase']} "
+            f"({top['delta_ms']:+.4f} ms/req, "
+            f"{100.0 * top['share']:.0f}% of the {delta:+.4f} ms delta)"
+        )
+    else:
+        parts.append("mean response unchanged (no phase to name)")
+    binding = diff.get("binding_resource", {})
+    if binding.get("base") and binding.get("current"):
+        if binding["changed"]:
+            parts.append(
+                f"binding resource moved: {binding['base']} -> "
+                f"{binding['current']}"
+            )
+        else:
+            parts.append(
+                f"binding resource unchanged: {binding['current']}"
+            )
+    by_class = diff.get("by_class_delta", {})
+    if by_class:
+        parts.append("")
+        parts.append(format_table(
+            ["class", "base ms", "current ms", "Δ ms", "base n", "cur n"],
+            [
+                (cls, row["base"]["mean_response_ms"],
+                 row["current"]["mean_response_ms"], row["delta_ms"],
+                 row["base"]["requests"], row["current"]["requests"])
+                for cls, row in sorted(by_class.items())
+            ],
+            title="per-class mean response", ndigits=4,
+        ))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# SLO evaluation report
+# ---------------------------------------------------------------------------
+def render_slo_report(report: dict[str, Any]) -> str:
+    """Summary + per-window view of an SLO evaluation report."""
+    spec = report.get("spec", {})
+    totals = report.get("totals", {})
+    windows = report.get("windows", [])
+    alerts = report.get("alerts", [])
+    parts = [format_table(
+        ["quantity", "value"],
+        [
+            ("windows", len(windows)),
+            ("requests", totals.get("requests", 0)),
+            ("failed", totals.get("failed", 0)),
+            ("availability", totals.get("availability", 1.0)),
+            ("bad (budget) requests", totals.get("bad", 0)),
+            ("budget spent (x allowed)", totals.get("budget_spent", 0.0)),
+            ("max burn rate", totals.get("max_burn_rate", 0.0)),
+            ("windows breached", totals.get("windows_breached", 0)),
+            ("alerts", totals.get("alert_count", 0)),
+        ],
+        title=f"SLO evaluation ({spec.get('window_ms', 0.0):.0f} ms windows)",
+        ndigits=4,
+    )]
+    if windows:
+        p95s = [w.get("p95_ms", 0.0) for w in windows]
+        parts.append("")
+        parts.append(f"  p95 ms    |{sparkline(p95s)}| peak {max(p95s):.2f}")
+        burn = [w.get("burn_rate", 0.0) for w in windows]
+        if any(burn):
+            parts.append(f"  burn rate |{sparkline(burn)}| "
+                         f"peak {max(burn):.2f}")
+        breach_flags = "".join(
+            "A" if w.get("alerts") else "-" for w in windows
+        )
+        parts.append(f"  alerts    |{breach_flags}|")
+    if alerts:
+        parts.append("")
+        parts.append(f"alerts ({len(alerts)}):")
+        for alert in alerts:
+            parts.append(
+                f"  t={alert['t_ms']:9.1f} window {alert['window']:>4} "
+                f"{alert['kind']:<14} observed {alert['observed']:.4f} "
+                f"vs target {alert['target']:.4f}"
+            )
+    else:
+        parts.append("")
+        parts.append("no alerts: every window met its objectives")
     return "\n".join(parts)

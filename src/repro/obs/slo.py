@@ -1,0 +1,289 @@
+"""Windowed SLO evaluation with deterministic alert events.
+
+Chaos and flash-crowd runs degrade *over time*; a run-level mean hides
+the window where the cluster actually hurt.  This module evaluates an
+SLO spec over fixed windows of simulated time as measured requests
+complete:
+
+* **latency objectives** — exact (nearest-rank) per-window p95/p99
+  against targets;
+* **availability** — the fraction of non-``failed`` requests per window
+  (the driver's explicit failed class under fault injection);
+* **error-budget burn rate** — a request is *bad* when it failed or
+  exceeded ``good_latency_ms``; the window's bad fraction divided by
+  the allowed bad fraction (``1 - availability`` target) is the burn
+  rate, and crossing ``threshold`` alerts (the "fast burn" pattern from
+  SRE practice).
+
+Every breach emits an ``alert`` point span through the run's tracer, so
+alerts land *in the trace*: golden files can pin them, replaying the
+same seed and fault plan reproduces them byte-identically, and the
+Perfetto export shows them on the timeline next to the ``fault`` events
+that caused them.  Determinism needs no further argument than the
+kernel's: windows are a pure function of (simulated completion times,
+latencies, failure flags), all of which are seed-determined; the tracer
+stamps alert spans at the completion that closed the window (or at
+finalize time for the last window), both deterministic instants.
+
+Off by default: nothing here runs unless a spec is passed
+(``Observability(slo=...)`` / ``run --slo spec.json``), so golden
+traces are byte-identical with the subsystem absent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from .schema import as_report
+from .tracing import NULL_TRACER
+
+__all__ = ["SloSpec", "SloEvaluator", "ALERT_SPAN"]
+
+logger = logging.getLogger(__name__)
+
+#: Span name of alert point events in the trace.
+ALERT_SPAN = "alert"
+
+
+def _nearest_rank(sorted_vals: list[float], q: float) -> float:
+    """Exact nearest-rank quantile of a sorted, non-empty list."""
+    rank = max(1, math.ceil(q * len(sorted_vals)))
+    return sorted_vals[rank - 1]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One run's service-level objectives.
+
+    All objectives are optional but at least one must be set.  The JSON
+    shape groups them::
+
+        {"window_ms": 500.0,
+         "latency": {"p95_ms": 40.0, "p99_ms": 80.0},
+         "availability": 0.99,
+         "burn_rate": {"threshold": 2.0, "good_latency_ms": 80.0}}
+    """
+
+    window_ms: float = 1000.0
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+    #: Minimum fraction of non-failed requests per window (0, 1].
+    availability: float | None = None
+    #: Alert when window burn rate reaches this multiple of budget.
+    burn_rate_threshold: float | None = None
+    #: A request is "bad" for the burn rate when it failed or took
+    #: longer than this (None: only failures are bad).
+    good_latency_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0.0:
+            raise ValueError("window_ms must be positive")
+        for name in ("p95_ms", "p99_ms", "good_latency_ms"):
+            val = getattr(self, name)
+            if val is not None and val <= 0.0:
+                raise ValueError(f"{name} must be positive")
+        if self.availability is not None \
+                and not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability target must be in (0, 1]")
+        if self.burn_rate_threshold is not None:
+            if self.burn_rate_threshold <= 0.0:
+                raise ValueError("burn_rate threshold must be positive")
+            if self.availability is None or self.availability >= 1.0:
+                raise ValueError(
+                    "burn_rate needs an availability target < 1.0 "
+                    "(the error budget is 1 - availability)"
+                )
+        if (self.p95_ms is None and self.p99_ms is None
+                and self.availability is None):
+            raise ValueError(
+                "spec has no objectives: set latency targets and/or "
+                "an availability target"
+            )
+
+    # -- (de)serialization --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"window_ms": self.window_ms}
+        latency = {}
+        if self.p95_ms is not None:
+            latency["p95_ms"] = self.p95_ms
+        if self.p99_ms is not None:
+            latency["p99_ms"] = self.p99_ms
+        if latency:
+            out["latency"] = latency
+        if self.availability is not None:
+            out["availability"] = self.availability
+        if self.burn_rate_threshold is not None:
+            burn: dict[str, Any] = {"threshold": self.burn_rate_threshold}
+            if self.good_latency_ms is not None:
+                burn["good_latency_ms"] = self.good_latency_ms
+            out["burn_rate"] = burn
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SloSpec":
+        if not isinstance(doc, dict):
+            raise ValueError("SLO spec must be a JSON object")
+        known = {"window_ms", "latency", "availability", "burn_rate"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown SLO spec keys: {unknown}")
+        latency = doc.get("latency", {})
+        burn = doc.get("burn_rate", {})
+        return cls(
+            window_ms=float(doc.get("window_ms", 1000.0)),
+            p95_ms=latency.get("p95_ms"),
+            p99_ms=latency.get("p99_ms"),
+            availability=doc.get("availability"),
+            burn_rate_threshold=burn.get("threshold"),
+            good_latency_ms=burn.get("good_latency_ms"),
+        )
+
+    @classmethod
+    def load(cls, path) -> "SloSpec":
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.from_dict(json.load(fp))
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            json.dump(self.to_dict(), fp, indent=2, sort_keys=True)
+            fp.write("\n")
+
+
+class SloEvaluator:
+    """Evaluates an :class:`SloSpec` incrementally over a run.
+
+    The driver calls :meth:`observe` for every *measured* completion
+    (simulated completion time, latency, failed flag).  Windows close
+    as time crosses their boundary; each closed window is evaluated and
+    breaches emit ``alert`` point spans through ``tracer``.  Call
+    :meth:`finalize` once after the run for the report.
+    """
+
+    def __init__(self, spec: SloSpec, tracer=NULL_TRACER):
+        self.spec = spec
+        self.tracer = tracer
+        self.alerts: list[dict[str, Any]] = []
+        self.windows: list[dict[str, Any]] = []
+        self._idx: int | None = None
+        self._lat: list[float] = []
+        self._failed = 0
+        self._bad = 0
+        self._total_requests = 0
+        self._total_failed = 0
+        self._total_bad = 0
+        self._finalized = False
+
+    # -- accumulation -------------------------------------------------------
+    def observe(self, t_ms: float, latency_ms: float, failed: bool) -> None:
+        """Fold one measured completion into the evaluation."""
+        if self._finalized:
+            raise RuntimeError("observe() after finalize()")
+        idx = int(t_ms // self.spec.window_ms)
+        if self._idx is None:
+            self._idx = idx
+        while idx > self._idx:
+            self._close_window()
+        self._lat.append(latency_ms)
+        good_ms = self.spec.good_latency_ms
+        bad = failed or (good_ms is not None and latency_ms > good_ms)
+        if failed:
+            self._failed += 1
+            self._total_failed += 1
+        if bad:
+            self._bad += 1
+            self._total_bad += 1
+        self._total_requests += 1
+
+    # -- evaluation ---------------------------------------------------------
+    def _alert(self, window: dict[str, Any], kind: str,
+               observed: float, target: float) -> None:
+        alert = {
+            "t_ms": window["t_ms"],
+            "window": window["index"],
+            "kind": kind,
+            "observed": observed,
+            "target": target,
+        }
+        self.alerts.append(alert)
+        window["alerts"].append(kind)
+        self.tracer.point(ALERT_SPAN, node=None, kind=kind,
+                          window=window["index"], window_t_ms=window["t_ms"],
+                          observed=observed, target=target)
+
+    def _close_window(self) -> None:
+        spec = self.spec
+        assert self._idx is not None
+        window: dict[str, Any] = {
+            "index": self._idx,
+            "t_ms": self._idx * spec.window_ms,
+            "requests": len(self._lat),
+            "failed": self._failed,
+            "bad": self._bad,
+            "alerts": [],
+        }
+        if self._lat:
+            ordered = sorted(self._lat)
+            n = len(ordered)
+            window["p95_ms"] = _nearest_rank(ordered, 0.95)
+            window["p99_ms"] = _nearest_rank(ordered, 0.99)
+            window["availability"] = 1.0 - self._failed / n
+            if spec.p95_ms is not None and window["p95_ms"] > spec.p95_ms:
+                self._alert(window, "latency.p95",
+                            window["p95_ms"], spec.p95_ms)
+            if spec.p99_ms is not None and window["p99_ms"] > spec.p99_ms:
+                self._alert(window, "latency.p99",
+                            window["p99_ms"], spec.p99_ms)
+            if spec.availability is not None \
+                    and window["availability"] < spec.availability:
+                self._alert(window, "availability",
+                            window["availability"], spec.availability)
+            if spec.burn_rate_threshold is not None:
+                budget = 1.0 - spec.availability
+                window["burn_rate"] = (self._bad / n) / budget
+                if window["burn_rate"] >= spec.burn_rate_threshold:
+                    self._alert(window, "burn_rate",
+                                window["burn_rate"],
+                                spec.burn_rate_threshold)
+        self.windows.append(window)
+        self._idx += 1
+        self._lat = []
+        self._failed = 0
+        self._bad = 0
+
+    def finalize(self) -> dict[str, Any]:
+        """Close the last open window and return the ``slo`` report."""
+        if not self._finalized:
+            if self._idx is not None:
+                self._close_window()
+            self._finalized = True
+        n = self._total_requests
+        burn_rates = [w["burn_rate"] for w in self.windows
+                      if "burn_rate" in w]
+        budget = (1.0 - self.spec.availability
+                  if self.spec.availability not in (None, 1.0) else None)
+        logger.info("SLO evaluation: %d windows, %d alerts",
+                    len(self.windows), len(self.alerts))
+        return as_report("slo", {
+            "spec": self.spec.to_dict(),
+            "windows": self.windows,
+            "alerts": self.alerts,
+            "totals": {
+                "requests": n,
+                "failed": self._total_failed,
+                "bad": self._total_bad,
+                "availability": 1.0 - self._total_failed / n if n else 1.0,
+                "budget_spent": (
+                    (self._total_bad / n) / budget
+                    if n and budget else 0.0
+                ),
+                "max_burn_rate": max(burn_rates) if burn_rates else 0.0,
+                "alert_count": len(self.alerts),
+                "windows_breached": sum(
+                    1 for w in self.windows if w["alerts"]
+                ),
+            },
+        })

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import cli
+from repro.obs.schema import OUTPUT_SCHEMA_VERSION
 from repro.traces import Trace, TraceSpec
 
 
@@ -171,7 +172,8 @@ class TestRunAndAnalyzeCli:
         ]) == 0
         out = capsys.readouterr().out
         doc = json.loads(out)
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == OUTPUT_SCHEMA_VERSION
+        assert doc["kind"] == "attribution"
         assert doc["requests"] > 0
         assert "phase_means_ms" in doc and "by_class" in doc
         assert doc["binding_resource"] is not None
@@ -194,6 +196,102 @@ class TestRunAndAnalyzeCli:
     ):
         assert cli.main(["run", "--mem-mb", "0.25"]) == 0
         assert "critical-path profile" not in capsys.readouterr().out
+
+    def test_run_with_slo_spec(self, capsys, tiny_defaults, tmp_path):
+        import json
+
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({
+            "window_ms": 10.0, "latency": {"p95_ms": 0.001},
+        }))
+        slo_out = tmp_path / "slo-report.json"
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "run", "--mem-mb", "0.25", "--slo", str(spec),
+            "--slo-out", str(slo_out), "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO evaluation" in out
+        assert "alerts" in out
+        doc = json.loads(slo_out.read_text())
+        assert doc["kind"] == "slo"
+        assert doc["schema_version"] == OUTPUT_SCHEMA_VERSION
+        assert doc["totals"]["alert_count"] >= 1
+        # The alerts were emitted into the dumped trace too.
+        alert_lines = [
+            json.loads(line) for line in trace.read_text().splitlines()
+            if json.loads(line)["name"] == "alert"
+        ]
+        assert len(alert_lines) == doc["totals"]["alert_count"]
+
+    def test_run_bad_slo_spec_errors(self, capsys, tiny_defaults, tmp_path):
+        spec = tmp_path / "slo.json"
+        spec.write_text('{"window_ms": -1.0}')
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["run", "--mem-mb", "0.25", "--slo", str(spec)])
+        assert exc.value.code == 2
+        assert "SLO spec" in capsys.readouterr().err
+
+    def test_slo_out_requires_slo(self, capsys, tiny_defaults, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            cli.main([
+                "run", "--mem-mb", "0.25",
+                "--slo-out", str(tmp_path / "r.json"),
+            ])
+        assert exc.value.code == 2
+
+    def test_analyze_critical(self, capsys, tiny_defaults, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "run", "--profile", "--mem-mb", "0.25", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        crit_out = tmp_path / "crit.json"
+        assert cli.main([
+            "analyze", str(trace), "--critical",
+            "--critical-out", str(crit_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path profile" in out
+        assert "total = mean critical path" in out
+        # --critical alone suppresses the default attribution report.
+        assert "binding resource:" not in out
+        doc = json.loads(crit_out.read_text())
+        assert doc["kind"] == "critical"
+        assert doc["schema_version"] == OUTPUT_SCHEMA_VERSION
+        assert doc["requests"] > 0
+
+    def test_analyze_diff(self, capsys, tiny_defaults, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert cli.main([
+            "run", "--profile", "--mem-mb", "0.25", "--trace", str(trace),
+        ]) == 0
+        attr = tmp_path / "attr.json"
+        assert cli.main(["analyze", str(trace), "--json", str(attr)]) == 0
+        capsys.readouterr()
+        # Attribution JSON on one side, raw trace JSONL on the other.
+        diff_out = tmp_path / "diff.json"
+        assert cli.main([
+            "analyze", "diff", str(attr), str(trace),
+            "--json", str(diff_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "conservation check" in out
+        assert "mean response unchanged" in out
+        doc = json.loads(diff_out.read_text())
+        assert doc["kind"] == "diff"
+        assert doc["delta_ms"] == pytest.approx(0.0, abs=1e-9)
+        assert abs(doc["conservation_residual_ms"]) < 1e-9
+
+    def test_analyze_diff_bad_input(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all {")
+        assert cli.main(["analyze", "diff", str(bad), str(bad)]) == 2
+        assert "cannot read input" in capsys.readouterr().err
 
 
 class TestChaosCli:

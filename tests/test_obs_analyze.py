@@ -212,14 +212,22 @@ class TestChromeExport:
         payload = [e for e in doc["traceEvents"] if e["ph"] in ("X", "i")]
         assert len(payload) == len(obs.tracer.records)
 
-    def test_unfinished_spans_skipped(self):
+    def test_unfinished_spans_become_flagged_instants(self):
         recs = [
             {"trace": 1, "span": 1, "parent": None, "name": "a",
-             "node": None, "start": 0.0, "end": None, "unfinished": True},
+             "node": None, "start": 2.5, "end": None, "unfinished": True},
         ]
-        assert all(
-            e["ph"] == "M" for e in to_chrome_trace(recs)["traceEvents"]
-        )
+        events = [
+            e for e in to_chrome_trace(recs)["traceEvents"]
+            if e["ph"] != "M"
+        ]
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["ph"] == "i"
+        assert ev["s"] == "t"
+        assert ev["ts"] == 2.5 * 1000.0
+        assert ev["args"]["unfinished"] is True
+        assert "dur" not in ev
 
 
 class TestTimeseries:
@@ -281,3 +289,31 @@ class TestTopRequests:
         root = max(request_roots(roots), key=lambda r: len(list(r.walk())))
         text = format_span_tree(root, max_depth=0)
         assert "children elided" in text
+
+    def test_unfinished_roots_get_their_own_section(self, kmc_run):
+        obs, _ = kmc_run
+        records = list(obs.tracer.records)
+        records.append({
+            "trace": 999001, "span": 999001, "parent": None,
+            "name": "client", "node": 2, "start": 42.5, "end": None,
+            "attrs": {"measured": True}, "unfinished": True,
+        })
+        text = render_top_requests(records, k=2)
+        assert "top 2 slowest" in text
+        assert "unfinished requests (1)" in text
+        assert "excluded from the ranking" in text
+        assert "trace 999001 span 999001 node=2 started @42.500 ms" in text
+
+    def test_no_unfinished_section_when_all_finished(self, kmc_run):
+        obs, _ = kmc_run
+        text = render_top_requests(obs.tracer.records, k=1)
+        assert "unfinished requests" not in text
+
+    def test_only_unfinished_roots(self):
+        records = [{
+            "trace": 1, "span": 1, "parent": None, "name": "request",
+            "node": None, "start": 0.0, "end": None, "unfinished": True,
+        }]
+        text = render_top_requests(records)
+        assert "no finished request roots" in text
+        assert "unfinished requests (1)" in text

@@ -1,0 +1,208 @@
+"""Tests for windowed SLO evaluation and alerting (repro.obs.slo)."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.obs import Observability
+from repro.obs.export import to_chrome_trace
+from repro.obs.schema import OUTPUT_SCHEMA_VERSION
+from repro.obs.slo import ALERT_SPAN, SloEvaluator, SloSpec
+from repro.obs.tracing import Tracer
+from repro.sim.faults import FaultPlan
+from repro.traces import datasets
+
+
+class TestSloSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_ms"):
+            SloSpec(window_ms=0.0, p95_ms=1.0)
+        with pytest.raises(ValueError, match="p95_ms"):
+            SloSpec(p95_ms=-1.0)
+        with pytest.raises(ValueError, match="availability"):
+            SloSpec(availability=1.5)
+        with pytest.raises(ValueError, match="burn_rate"):
+            SloSpec(p95_ms=1.0, burn_rate_threshold=2.0)  # no availability
+        with pytest.raises(ValueError, match="no objectives"):
+            SloSpec()
+
+    def test_round_trip(self, tmp_path):
+        spec = SloSpec(window_ms=250.0, p95_ms=40.0, p99_ms=80.0,
+                       availability=0.99, burn_rate_threshold=2.0,
+                       good_latency_ms=80.0)
+        assert SloSpec.from_dict(spec.to_dict()) == spec
+        path = tmp_path / "slo.json"
+        spec.dump(path)
+        assert SloSpec.load(path) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SloSpec.from_dict({"window_ms": 100.0, "p95_ms": 1.0})
+
+    def test_dict_shape_is_grouped(self):
+        doc = SloSpec(p95_ms=40.0, availability=0.99,
+                      burn_rate_threshold=2.0).to_dict()
+        assert doc == {
+            "window_ms": 1000.0,
+            "latency": {"p95_ms": 40.0},
+            "availability": 0.99,
+            "burn_rate": {"threshold": 2.0},
+        }
+
+
+class TestSloEvaluator:
+    def test_latency_alerts_per_window(self):
+        ev = SloEvaluator(SloSpec(window_ms=100.0, p95_ms=10.0))
+        for i in range(20):  # window 0: all fast
+            ev.observe(i * 5.0, 1.0, False)
+        for i in range(20):  # window 1: all slow
+            ev.observe(100.0 + i * 4.0, 50.0, False)
+        report = ev.finalize()
+        assert report["kind"] == "slo"
+        assert report["schema_version"] == OUTPUT_SCHEMA_VERSION
+        assert len(report["windows"]) == 2
+        w0, w1 = report["windows"]
+        assert w0["alerts"] == []
+        assert w1["alerts"] == ["latency.p95"]
+        assert w0["p95_ms"] == 1.0 and w1["p95_ms"] == 50.0
+        assert report["totals"]["alert_count"] == 1
+        assert report["totals"]["windows_breached"] == 1
+
+    def test_availability_and_burn_rate(self):
+        spec = SloSpec(window_ms=100.0, availability=0.9,
+                       burn_rate_threshold=2.0, good_latency_ms=10.0)
+        ev = SloEvaluator(spec)
+        # Window 0: 10 requests, 3 failed -> availability 0.7 < 0.9;
+        # bad fraction 0.3 / budget 0.1 = burn rate 3.0 >= 2.0.
+        for i in range(10):
+            ev.observe(i * 10.0, 1.0, i < 3)
+        report = ev.finalize()
+        w = report["windows"][0]
+        assert w["availability"] == pytest.approx(0.7)
+        assert w["burn_rate"] == pytest.approx(3.0)
+        assert w["alerts"] == ["availability", "burn_rate"]
+        assert report["totals"]["availability"] == pytest.approx(0.7)
+        assert report["totals"]["max_burn_rate"] == pytest.approx(3.0)
+
+    def test_slow_requests_burn_budget_without_failing(self):
+        spec = SloSpec(window_ms=100.0, availability=0.9,
+                       burn_rate_threshold=2.0, good_latency_ms=10.0)
+        ev = SloEvaluator(spec)
+        for i in range(10):
+            ev.observe(i * 10.0, 50.0, False)  # slow but successful
+        report = ev.finalize()
+        w = report["windows"][0]
+        assert w["availability"] == 1.0
+        assert w["alerts"] == ["burn_rate"]
+        assert w["burn_rate"] == pytest.approx(10.0)
+
+    def test_empty_windows_are_skipped_quietly(self):
+        ev = SloEvaluator(SloSpec(window_ms=10.0, p95_ms=1.0))
+        ev.observe(5.0, 0.5, False)
+        ev.observe(95.0, 0.5, False)  # windows 1..8 are empty
+        report = ev.finalize()
+        assert len(report["windows"]) == 10
+        empty = [w for w in report["windows"] if w["requests"] == 0]
+        assert len(empty) == 8
+        assert all(not w["alerts"] for w in empty)
+        assert report["totals"]["alert_count"] == 0
+
+    def test_alerts_flow_through_tracer(self):
+        tracer = Tracer()
+
+        class _Clock:
+            now = 123.0
+        tracer.attach(_Clock())
+        ev = SloEvaluator(SloSpec(window_ms=100.0, p95_ms=1.0),
+                          tracer=tracer)
+        for i in range(5):
+            ev.observe(i * 20.0, 10.0, False)
+        ev.finalize()
+        alerts = [r for r in tracer.records if r["name"] == ALERT_SPAN]
+        assert len(alerts) == 1
+        attrs = alerts[0]["attrs"]
+        assert attrs["kind"] == "latency.p95"
+        assert attrs["window"] == 0
+        assert attrs["observed"] == 10.0 and attrs["target"] == 1.0
+
+    def test_observe_after_finalize_raises(self):
+        ev = SloEvaluator(SloSpec(p95_ms=1.0))
+        ev.observe(1.0, 0.5, False)
+        ev.finalize()
+        with pytest.raises(RuntimeError):
+            ev.observe(2.0, 0.5, False)
+
+
+def _chaos_slo_run():
+    """A chaos run with a tight SLO: returns (obs, report)."""
+    spec = SloSpec(window_ms=100.0, p95_ms=5.0, availability=0.999,
+                   burn_rate_threshold=2.0, good_latency_ms=20.0)
+    trace = datasets.scaled("rutgers", 0.005, num_requests=300)
+    cfg = ExperimentConfig(
+        system="cc-kmc",
+        trace=trace,
+        num_nodes=4,
+        mem_mb_per_node=0.25,
+        num_clients=8,
+        seed=0,
+        faults=FaultPlan.random(1, 2000.0, 4, crashes_per_node=2.0,
+                                link_drops=1, disk_stalls=1),
+    )
+    obs = Observability(trace=True, slo=spec)
+    run_experiment(cfg, obs=obs)
+    report = obs.slo.finalize()
+    return obs, report
+
+
+class TestChaosSloDeterminism:
+    @pytest.fixture(scope="class")
+    def chaos_runs(self):
+        return _chaos_slo_run(), _chaos_slo_run()
+
+    def test_chaos_run_fires_alerts(self, chaos_runs):
+        (_, report), _ = chaos_runs
+        assert report["totals"]["alert_count"] >= 1
+        kinds = {a["kind"] for a in report["alerts"]}
+        assert kinds  # at least one objective breached
+
+    def test_alerts_are_replay_identical(self, chaos_runs):
+        (obs1, rep1), (obs2, rep2) = chaos_runs
+        assert rep1["alerts"] == rep2["alerts"]
+        assert rep1["windows"] == rep2["windows"]
+        # The whole trace — alert spans included — is byte-identical.
+        assert obs1.tracer.digest() == obs2.tracer.digest()
+
+    def test_alerts_and_faults_in_trace_and_chrome_export(self, chaos_runs):
+        """Satellite: chaos run -> export; every fault and alert span
+        present in the Chrome trace, unfinished spans well-formed."""
+        (obs, report), _ = chaos_runs
+        records = [json.loads(line)
+                   for line in obs.tracer.to_jsonl().splitlines()]
+        faults = [r for r in records if r["name"] == "fault"]
+        alerts = [r for r in records if r["name"] == ALERT_SPAN]
+        assert faults and alerts
+        assert len(alerts) == report["totals"]["alert_count"]
+
+        doc = to_chrome_trace(records)
+        events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        fault_events = [e for e in events if e["name"] == "fault"]
+        alert_events = [e for e in events if e["name"] == ALERT_SPAN]
+        assert len(fault_events) == len(faults)
+        assert len(alert_events) == len(alerts)
+        # Fault/alert points share the "events" lane within a process.
+        by_name = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "M" and ev["name"] == "thread_name":
+                by_name.setdefault(ev["args"]["name"], set()).add(ev["tid"])
+        assert len(by_name["events"]) == 1
+        events_tid = next(iter(by_name["events"]))
+        assert all(e["tid"] == events_tid
+                   for e in fault_events + alert_events)
+        # Crash-orphaned requests: unfinished spans exported as flagged
+        # instants, never dropped.
+        unfinished = [e for e in events if e["args"].get("unfinished")]
+        for ev in unfinished:
+            assert ev["ph"] == "i" and ev["s"] == "t"
+            assert "dur" not in ev
+        assert len(events) == len(records)
