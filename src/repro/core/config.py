@@ -37,12 +37,26 @@ class CoopCacheConfig:
     forward_on_evict: bool = True
     #: Refresh a master's age when it serves a peer's remote hit.
     touch_on_peer_hit: bool = True
-    #: Directory type: "perfect" (the paper's optimistic assumption) or
-    #: "hints" (Sarkar & Hartman-style, see :mod:`repro.core.hints`).
+    #: Directory type: "perfect" (the paper's optimistic assumption),
+    #: "hints" (Sarkar & Hartman-style, see :mod:`repro.core.hints`) or
+    #: "partitioned" (consistent-hash homes with bounded staleness, see
+    #: :mod:`repro.cache.hashring`).
     directory: str = "perfect"
     #: Probability a hint lookup points at the true master location
     #: (Sarkar & Hartman report ~98% achievable).  Only with "hints".
     hint_accuracy: float = 0.98
+    #: Virtual nodes per physical node on the consistent-hash ring
+    #: (load spreading).  Only with "partitioned".
+    dir_vnodes: int = 32
+    #: Bounded-staleness window (simulated ms) of partitioned routing
+    #: answers — the asynchrony of directory update propagation.  Zero
+    #: makes routing exact (the differential-test configuration).  Only
+    #: with "partitioned".
+    dir_staleness_ms: float = 0.25
+    #: Charge network round trips to remote ring homes on the lookup
+    #: path.  Off (with zero staleness) reproduces the oracle's event
+    #: stream byte-for-byte.  Only with "partitioned".
+    dir_hop_cost: bool = True
     #: Write handling (paper Section 6 future work): "write-back" keeps
     #: dirty masters in memory and flushes them on eviction;
     #: "write-through" flushes every write to the home disk immediately.
@@ -58,10 +72,14 @@ class CoopCacheConfig:
             )
         if self.disk_discipline not in (FIFO, SCAN):
             raise ValueError(f"unknown disk discipline {self.disk_discipline!r}")
-        if self.directory not in ("perfect", "hints"):
+        if self.directory not in ("perfect", "hints", "partitioned"):
             raise ValueError(f"unknown directory type {self.directory!r}")
         if not 0.0 <= self.hint_accuracy <= 1.0:
             raise ValueError("hint_accuracy must be in [0, 1]")
+        if self.dir_vnodes < 1:
+            raise ValueError("dir_vnodes must be >= 1")
+        if self.dir_staleness_ms < 0:
+            raise ValueError("dir_staleness_ms must be >= 0")
         if self.write_policy not in ("write-back", "write-through"):
             raise ValueError(f"unknown write policy {self.write_policy!r}")
         if self.hybrid_bias_ms < 0:

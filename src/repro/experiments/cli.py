@@ -83,6 +83,7 @@ ARTIFACTS: dict[str, Callable[[], str]] = {
     "fig5": figures.render_fig5,
     "fig6a": figures.render_fig6a,
     "fig6b": figures.render_fig6b,
+    "fig_ring": figures.render_fig_ring,
     "a1": ablations.render_a1,
     "a2": ablations.render_a2,
     "a3": ablations.render_a3,

@@ -13,10 +13,12 @@ Everything in :mod:`repro.experiments` boils down to calling
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
 
 from ..cache.block import FileLayout
 from ..cache.directory import HomeMap
+from ..cache.hashring import PartitionedDirectory
 from ..cluster.cluster import Cluster
 from ..cluster.disk import SCAN
 from ..core.api import blocks_for_mb
@@ -32,12 +34,40 @@ from ..traces.model import Trace
 from ..web.client import ClosedLoopDriver, WorkloadResult
 from ..web.server import CoopCacheWebServer
 
-__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "SYSTEMS"]
+__all__ = [
+    "ExperimentConfig", "ExperimentResult", "run_experiment", "SYSTEMS",
+    "DIRECTORY_ENV",
+]
 
 logger = logging.getLogger(__name__)
 
 #: Named systems accepted by :class:`ExperimentConfig`.
 SYSTEMS = ("press", "cc-basic", "cc-sched", "cc-kmc")
+
+#: Environment knob selecting the middleware's directory implementation
+#: (mirrors ``REPRO_SCHEDULER``): ``oracle``/``perfect`` keeps the
+#: paper's perfect directory, ``partitioned`` swaps in the
+#: consistent-hash :class:`~repro.cache.hashring.PartitionedDirectory`.
+#: It only applies to configs that left ``directory`` at the default —
+#: an explicit choice ("hints", or a pinned ablation) always wins.
+DIRECTORY_ENV = "REPRO_DIRECTORY"
+
+
+def _apply_directory_env(config: CoopCacheConfig) -> CoopCacheConfig:
+    """Resolve the ``REPRO_DIRECTORY`` knob against ``config``."""
+    env = os.environ.get(DIRECTORY_ENV)
+    if not env:
+        return config
+    if env not in ("oracle", "perfect", "partitioned"):
+        raise ValueError(
+            f"unknown {DIRECTORY_ENV} value {env!r}; "
+            "choose oracle, perfect or partitioned"
+        )
+    if config.directory != "perfect":
+        return config  # explicit per-config choice beats the env knob
+    if env == "partitioned":
+        return config.with_overrides(directory="partitioned")
+    return config
 
 
 @dataclass(frozen=True)
@@ -93,6 +123,7 @@ def _build_cc(
     cfg: ExperimentConfig, sim: Simulator, config: CoopCacheConfig, obs=None,
     faults=None,
 ):
+    config = _apply_directory_env(config)
     cluster = Cluster(
         sim, cfg.params, cfg.num_nodes, disk_discipline=config.disk_discipline
     )
@@ -103,6 +134,14 @@ def _build_cc(
         directory = HintDirectory(
             config.hint_accuracy, cfg.num_nodes, stream(cfg.seed, "hints")
         )
+    elif config.directory == "partitioned":
+        directory = PartitionedDirectory(
+            cfg.num_nodes,
+            vnodes=config.dir_vnodes,
+            seed=cfg.seed,
+            staleness_ms=config.dir_staleness_ms,
+        )
+        directory.attach(sim)
     layer = CoopCacheLayer(
         cluster,
         layout,

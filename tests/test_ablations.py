@@ -33,7 +33,10 @@ class TestA1Hints:
         out = abl.render_a1(data)
         assert "hint-based directory" in out
 
-    def test_perfect_hints_near_parity(self):
+    def test_perfect_hints_near_parity(self, monkeypatch):
+        # A1's claim is hints-vs-*perfect*: an inherited REPRO_DIRECTORY
+        # would swap the baseline and make the ratio meaningless.
+        monkeypatch.delenv("REPRO_DIRECTORY", raising=False)
         data = abl.a1_hints(accuracies=(1.0,))
         assert data["points"][0]["vs_perfect"] == pytest.approx(1.0, abs=0.1)
 

@@ -52,6 +52,7 @@ class TestCli:
         expected = {
             "table1", "table2",
             "fig1", "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
+            "fig_ring",
             "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9", "a10",
         }
         assert set(cli.ARTIFACTS) == expected
