@@ -60,8 +60,18 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     cmp_p.add_argument(
-        "records", nargs="+", metavar="RECORD",
-        help="BENCH_<name>.json trajectory record(s) to check",
+        "records", nargs="*", metavar="RECORD",
+        help="BENCH_<name>.json trajectory record(s) to check "
+             "(or use --all)",
+    )
+    cmp_p.add_argument(
+        "--all", action="store_true", dest="all_records",
+        help="gate every BENCH_*.json under --dir in one invocation "
+             "(records without a committed baseline skip, as usual)",
+    )
+    cmp_p.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory searched by --all (default: current directory)",
     )
     cmp_p.add_argument(
         "--baselines", default="benchmarks/baselines", metavar="DIR",
@@ -123,6 +133,21 @@ def _explain(args: argparse.Namespace) -> None:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.all_records and args.records:
+        print("give RECORD arguments or --all, not both", file=sys.stderr)
+        return EXIT_USAGE
+    if args.all_records:
+        args.records = sorted(
+            str(p) for p in Path(args.dir).glob("BENCH_*.json")
+        )
+        if not args.records:
+            print(f"compare --all: no BENCH_*.json records under "
+                  f"{args.dir}", file=sys.stderr)
+            return EXIT_USAGE
+    elif not args.records:
+        print("no records given (pass RECORD files or --all)",
+              file=sys.stderr)
+        return EXIT_USAGE
     if args.baseline is not None and len(args.records) != 1:
         print("--baseline requires exactly one RECORD", file=sys.stderr)
         return EXIT_USAGE

@@ -50,6 +50,16 @@ Usage::
     python -m repro.experiments.cli sweep --workers 4 \\
         --bench-out BENCH_fig2.json
 
+    # Fleet observability: the same sweep with a run ledger (per-cell
+    # manifests + artifacts) and live progress telemetry, then the
+    # cross-cell rollup (conservation check, binding-resource frequency,
+    # throughput heatmaps) over the ledger slice.
+    python -m repro.experiments.cli sweep --workers 4 \\
+        --ledger ledger.jsonl --progress progress.jsonl \\
+        --bench-out BENCH_fig2.json
+    python -m repro.obs.ledger list ledger.jsonl
+    python -m repro.experiments.cli analyze fleet ledger.jsonl
+
 Pass ``-v`` / ``--verbose`` (repeatable) anywhere for INFO/DEBUG
 logging.  Workload scale is controlled by the usual environment knobs
 (``REPRO_SCALE`` / ``REPRO_REQUESTS`` / ``REPRO_CLIENTS`` /
@@ -69,7 +79,8 @@ from .report import banner
 
 __all__ = [
     "ARTIFACTS", "main", "run_command", "analyze_command",
-    "analyze_diff_command", "chaos_command", "sweep_command",
+    "analyze_diff_command", "analyze_fleet_command", "chaos_command",
+    "sweep_command",
 ]
 
 #: artifact name -> zero-argument renderer.
@@ -112,6 +123,65 @@ def _non_negative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
+
+
+def _add_ledger_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ledger", metavar="FILE", default=None,
+                   help="append a provenance-stamped manifest record "
+                        "(git sha, seed, knobs, wall-clock, exit status, "
+                        "artifact paths) to this run-ledger JSONL; inspect "
+                        "with `python -m repro.obs.ledger list/show`")
+
+
+def _run_artifacts(opts, extra=()) -> dict:
+    """Artifact paths this invocation wrote, for the ledger record."""
+    artifacts = {}
+    for name in ("trace", "metrics_out", "cachestats", "slo_out",
+                 "plan_out") + tuple(extra):
+        path = getattr(opts, name, None)
+        if path:
+            artifacts[name.replace("_out", "")] = path
+    return artifacts
+
+
+def _open_ledger(opts):
+    """The run ledger for ``--ledger FILE``, or None."""
+    if getattr(opts, "ledger", None) is None:
+        return None
+    from ..obs.ledger import Ledger
+
+    return Ledger(opts.ledger)
+
+
+def _ledger_run_record(ledger, kind, opts, cfg, *, status, wall_s,
+                       result=None, error=None) -> None:
+    """Append one run/chaos manifest record for a CLI invocation."""
+    from ..bench.schema import params_digest
+
+    coords = {
+        "system": cfg.system_name(),
+        "workload": cfg.trace.spec.name,
+        "num_nodes": cfg.num_nodes,
+        "mem_mb_per_node": cfg.mem_mb_per_node,
+        "num_clients": cfg.num_clients,
+        "seed": cfg.seed,
+    }
+    fields = dict(
+        coords,
+        params_digest=params_digest(coords),
+        wall_s=round(wall_s, 6),
+        artifacts=_run_artifacts(opts),
+    )
+    if result is not None:
+        fields["summary"] = {
+            "throughput_rps": result.throughput_rps,
+            "mean_response_ms": result.mean_response_ms,
+            "hit_rate_total": result.hit_rates.get("total", 0.0),
+        }
+    if error is not None:
+        fields["error"] = error
+    record = ledger.append(kind, status=status, **fields)
+    print(f"ledger            -> {ledger.path} (run id {record['run_id']})")
 
 
 def _add_slo_args(p: argparse.ArgumentParser) -> None:
@@ -199,11 +269,14 @@ def _run_parser() -> argparse.ArgumentParser:
                         "eviction provenance, forwarding hops) and dump it "
                         "as JSONL to FILE; render with `analyze --cache`")
     _add_slo_args(p)
+    _add_ledger_arg(p)
     return p
 
 
 def run_command(argv) -> int:
     """``run`` subcommand: one experiment with observability attached."""
+    import time
+
     from ..obs import Observability
     from .runner import ExperimentConfig, run_experiment
 
@@ -227,7 +300,20 @@ def run_command(argv) -> int:
         cachestats=opts.cachestats is not None,
         slo=slo_spec,
     )
-    result = run_experiment(cfg, obs=obs)
+    ledger = _open_ledger(opts)
+    t0 = time.perf_counter()  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
+    try:
+        result = run_experiment(cfg, obs=obs)
+    except Exception as exc:
+        if ledger is not None:
+            _ledger_run_record(
+                ledger, "run", opts, cfg,
+                status="failed",
+                wall_s=time.perf_counter() - t0,  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
+    wall_s = time.perf_counter() - t0  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
     # Close the last SLO window before the trace is dumped so its alerts
     # are part of the JSONL (and the golden digest, when pinned).
     slo_report = obs.slo.finalize() if obs.slo is not None else None
@@ -277,6 +363,9 @@ def run_command(argv) -> int:
             metrics=obs.registry.snapshot(),
         ))
     _print_slo(slo_report, opts)
+    if ledger is not None:
+        _ledger_run_record(ledger, "run", opts, cfg, status="ok",
+                           wall_s=wall_s, result=result)
     return 0
 
 
@@ -310,17 +399,91 @@ def _sweep_parser() -> argparse.ArgumentParser:
                         "(JSON, repro.bench schema) to FILE")
     p.add_argument("--render", action="store_true",
                    help="print the rendered figure tables as well")
+    p.add_argument("--progress", metavar="FILE", default=None,
+                   help="stream live per-cell heartbeat events (done, "
+                        "cells/s, ETA, stragglers, failures) as JSONL to "
+                        "FILE and print the completion timeline afterwards")
+    p.add_argument("--artifacts", metavar="DIR", default=None,
+                   help="per-cell artifact directory for --ledger "
+                        "(attribution + trace per cell; default: "
+                        "<ledger>.d)")
+    _add_ledger_arg(p)
     return p
 
 
+def _ledger_sweep_records(ledger, opts, outcomes, progress_summary,
+                          workers, n_cells) -> None:
+    """Append the sweep manifest + one cell record per outcome."""
+    from ..obs.ledger import measure_observability_overhead
+
+    artifacts = {}
+    if opts.bench_out:
+        artifacts["bench"] = opts.bench_out
+    if opts.progress:
+        artifacts["progress"] = opts.progress
+    sweep_rec = ledger.append(
+        "sweep",
+        status="failed" if any(not o.ok for o in outcomes) else "ok",
+        figure=opts.figure,
+        cells=n_cells,
+        workers=workers,
+        progress=progress_summary,
+        # Self-measured instrumentation cost: events/s through the
+        # kernel with the tracer on vs off, so observability overhead
+        # is a tracked number in the ledger, not folklore.
+        obs_overhead=measure_observability_overhead(num_events=5_000),
+        artifacts=artifacts,
+    )
+    for out in outcomes:
+        fields = dict(
+            cell_index=out.info.index,
+            system=out.info.system,
+            workload=out.info.workload,
+            num_nodes=out.info.num_nodes,
+            mem_mb_per_node=out.info.mem_mb_per_node,
+            num_clients=out.info.num_clients,
+            seed=out.info.seed,
+            params_digest=out.info.params_digest,
+            wall_s=round(out.wall_s, 6),
+            worker=out.worker,
+            summary=out.summary,
+            artifacts=out.artifacts,
+        )
+        if out.error is not None:
+            fields["error"] = out.error
+        ledger.append(
+            "cell",
+            status="ok" if out.ok else "failed",
+            parent=sweep_rec["run_id"],
+            **fields,
+        )
+    print(f"ledger            -> {ledger.path} "
+          f"(sweep run id {sweep_rec['run_id']}, {len(outcomes)} cell "
+          f"records)")
+
+
 def sweep_command(argv) -> int:
-    """``sweep`` subcommand: sharded figure sweep + BENCH record."""
+    """``sweep`` subcommand: sharded figure sweep + BENCH record.
+
+    ``--ledger``/``--progress`` switch to the *observed* runner: same
+    cells, same merged results (telemetry is passive — BENCH records
+    stay byte-identical), plus per-cell manifests, artifacts and live
+    heartbeat events.  A failing cell no longer surfaces as a bare
+    multiprocessing traceback: it is named (system/trace/params digest),
+    recorded in the ledger, and the exit code is 1.
+    """
     import time
 
     from ..bench.schema import dump_record, wrap_result
     from ..traces.datasets import TRACE_NAMES
-    from .figures import fig2, render_fig2
-    from .parallel import default_workers
+    from .figures import fig2_cells, fig2_collect, render_fig2
+    from .parallel import (
+        SweepCellError,
+        SweepProgress,
+        default_workers,
+        run_cells,
+        run_cells_observed,
+    )
 
     opts = _sweep_parser().parse_args(argv)
     workers = opts.workers if opts.workers is not None else default_workers()
@@ -328,25 +491,71 @@ def sweep_command(argv) -> int:
         defaults.BENCH_MEMORY_MB if opts.memory_axis == "bench" else None
     )
     trace_names = opts.workloads or list(TRACE_NAMES)
+    names, memories, cells = fig2_cells(
+        trace_names=trace_names, num_nodes=opts.nodes, memories_mb=memories
+    )
     n_systems = len(figures.ALL_SYSTEMS)
-    n_cells = len(trace_names) * n_systems * len(memories)
+    n_cells = len(cells)
     print(banner(f"sweep {opts.figure}"))
     print(f"cells             {n_cells} "
           f"({len(trace_names)} traces x {n_systems} systems x "
           f"{len(memories)} memory points)")
     print(f"workers           {workers}")
+    observed = opts.ledger is not None or opts.progress is not None
+    ledger = _open_ledger(opts)
+    failures = []
+    outcomes = []
     # Wall-clock is operator-facing progress reporting only; it never
     # feeds simulation state (results are a pure function of the cells).
     t0 = time.perf_counter()  # simlint: disable=SL02 -- elapsed-time report, not sim state
-    data = fig2(
-        trace_names=trace_names,
-        num_nodes=opts.nodes,
-        memories_mb=memories,
-        workers=workers,
-    )
+    if observed:
+        artifacts_dir = opts.artifacts
+        if artifacts_dir is None and opts.ledger is not None:
+            artifacts_dir = opts.ledger + ".d"
+        progress = SweepProgress(
+            total=n_cells,
+            path=opts.progress,
+            stream=sys.stderr if opts.progress else None,
+        )
+        results, outcomes = run_cells_observed(
+            cells, workers=workers,
+            progress=progress,
+            artifacts_dir=artifacts_dir if ledger is not None else None,
+            profile=ledger is not None,
+            failures=failures,
+        )
+        progress_summary = progress.summary()
+    else:
+        try:
+            results = run_cells(cells, workers=workers)
+        except SweepCellError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 1
+        progress_summary = None
     elapsed = time.perf_counter() - t0  # simlint: disable=SL02 -- elapsed-time report, not sim state
     print(f"elapsed           {elapsed:.1f} s wall "
           f"({n_cells / elapsed:.2f} cells/s)")
+    if ledger is not None:
+        _ledger_sweep_records(ledger, opts, outcomes, progress_summary,
+                              workers, n_cells)
+    if opts.progress:
+        from ..obs.ledger import load_ledger as _load_jsonl
+        from ..obs.reports import render_progress_report
+
+        print()
+        print(banner("sweep progress"))
+        print(render_progress_report(_load_jsonl(opts.progress)))
+        print(f"progress events   -> {opts.progress}")
+    if failures:
+        print(f"sweep: {len(failures)} cell(s) failed:", file=sys.stderr)
+        for out in failures:
+            print(f"  cell {out.info.index} [{out.info.coords()}] "
+                  f"params {out.info.params_digest}: {out.error}",
+                  file=sys.stderr)
+        print("sweep: skipping BENCH record/render (incomplete matrix)",
+              file=sys.stderr)
+        return 1
+    data = fig2_collect(names, memories, results)
     if opts.bench_out:
         record = wrap_result(
             opts.figure, data, seed=0, params=defaults.bench_params()
@@ -401,11 +610,13 @@ def _chaos_parser() -> argparse.ArgumentParser:
                    help="phase spans + critical-path report (fault waits "
                         "show up as fault.detect / retry.backoff)")
     _add_slo_args(p)
+    _add_ledger_arg(p)
     return p
 
 
 def chaos_command(argv) -> int:
     """``chaos`` subcommand: baseline vs faulted run of one workload."""
+    import time
     from dataclasses import replace
 
     from ..obs import Observability
@@ -450,7 +661,20 @@ def chaos_command(argv) -> int:
     obs = Observability(
         trace=opts.trace is not None, profile=opts.profile, slo=slo_spec
     )
-    result = run_experiment(replace(base_cfg, faults=plan), obs=obs)
+    ledger = _open_ledger(opts)
+    t0 = time.perf_counter()  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
+    try:
+        result = run_experiment(replace(base_cfg, faults=plan), obs=obs)
+    except Exception as exc:
+        if ledger is not None:
+            _ledger_run_record(
+                ledger, "chaos", opts, base_cfg,
+                status="failed",
+                wall_s=time.perf_counter() - t0,  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        raise
+    wall_s = time.perf_counter() - t0  # simlint: disable=SL02 -- ledger wall-clock provenance, not sim state
     slo_report = obs.slo.finalize() if obs.slo is not None else None
 
     print(banner(f"chaos {base_cfg.system_name()} / {opts.workload}"))
@@ -497,6 +721,9 @@ def chaos_command(argv) -> int:
             metrics=obs.registry.snapshot(),
         ))
     _print_slo(slo_report, opts)
+    if ledger is not None:
+        _ledger_run_record(ledger, "chaos", opts, base_cfg, status="ok",
+                           wall_s=wall_s, result=result)
     return 0
 
 
@@ -589,12 +816,110 @@ def analyze_diff_command(argv) -> int:
     return 0
 
 
+def _fleet_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments analyze fleet",
+        description="Cross-cell fleet rollup over a sweep's run-ledger "
+                    "slice: per-cell attribution with the exact "
+                    "conservation check, binding-resource frequency, "
+                    "sweep-wide SLO evaluation, and (memory x system x "
+                    "trace) throughput heatmaps.",
+    )
+    p.add_argument("ledger", metavar="LEDGER",
+                   help="run-ledger JSONL (from `sweep --ledger`)")
+    p.add_argument("--sweep", metavar="RUN_ID", default=None,
+                   help="roll up this sweep record (unique run-id prefix; "
+                        "default: the latest sweep in the ledger)")
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="judge every cell's p95/p99/availability against "
+                        "this SLO spec JSON (window-level burn rates stay "
+                        "per-run)")
+    p.add_argument("--json", metavar="FILE", default=None, dest="json_out",
+                   help="write the fleet report (schema kind 'fleet') as "
+                        "JSON to FILE ('-' for stdout)")
+    p.add_argument("--perfetto", metavar="FILE", default=None,
+                   help="merge every cell's span trace into one "
+                        "multi-process Chrome trace JSON (one process "
+                        "lane group per cell) at FILE")
+    return p
+
+
+def analyze_fleet_command(argv) -> int:
+    """``analyze fleet`` subcommand: cross-cell rollup over a ledger."""
+    import os
+
+    from ..obs.fleet import fleet_report
+    from ..obs.ledger import load_ledger
+    from ..obs.reports import render_fleet_report
+
+    opts = _fleet_parser().parse_args(argv)
+    slo_spec = None
+    if opts.slo is not None:
+        from ..obs.slo import SloSpec
+
+        try:
+            slo_spec = SloSpec.load(opts.slo)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            print(f"cannot load SLO spec {opts.slo}: {exc}", file=sys.stderr)
+            return 2
+    base_dir = os.path.dirname(os.path.abspath(opts.ledger))
+    try:
+        records = load_ledger(opts.ledger)
+        report = fleet_report(records, sweep_id=opts.sweep, slo=slo_spec,
+                              base_dir=base_dir)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"analyze fleet: {exc}", file=sys.stderr)
+        return 2
+    if opts.json_out:
+        text = json.dumps(report, indent=2, sort_keys=True, default=float)
+        if opts.json_out == "-":
+            print(text)
+        else:
+            with open(opts.json_out, "w", encoding="utf-8") as fp:
+                fp.write(text + "\n")
+            print(f"fleet json        -> {opts.json_out}")
+    # Write the perfetto artifact before the chatty render so a reader
+    # truncating stdout (`... | head`) can't kill the process between
+    # artifact writes.
+    if opts.perfetto:
+        from ..obs.analyze import load_jsonl as load_trace_jsonl
+        from ..obs.export import dump_chrome_trace_multi
+
+        merged = []
+        for cell in report.get("cells", []):
+            if cell.get("status") != "ok":
+                continue
+            rec = next(
+                (r for r in records if r.get("run_id") == cell["run_id"]),
+                None,
+            )
+            raw = ((rec or {}).get("artifacts") or {}).get("trace")
+            if not raw:
+                continue
+            path = raw if os.path.exists(raw) else os.path.join(base_dir, raw)
+            if not os.path.exists(path):
+                continue
+            label = (f"{cell['workload']}/{cell['system']}/"
+                     f"{cell['mem_mb_per_node']:g}MB")
+            merged.append((label, load_trace_jsonl(path)))
+        dump_chrome_trace_multi(merged, opts.perfetto)
+        print(f"fleet chrome trace -> {opts.perfetto} "
+              f"({len(merged)} cells merged; open in ui.perfetto.dev)")
+    if opts.json_out != "-":
+        print(banner(f"fleet: {opts.ledger}"))
+        print(render_fleet_report(report))
+    return 0
+
+
 def analyze_command(argv) -> int:
     """``analyze`` subcommand: reports over dumped trace/metrics files."""
     from ..obs.analyze import attribute, load_jsonl
 
     if argv and argv[0] == "diff":
         return analyze_diff_command(argv[1:])
+    if argv and argv[0] == "fleet":
+        return analyze_fleet_command(argv[1:])
     opts = _analyze_parser().parse_args(argv)
     if opts.trace is None and not opts.cache:
         print("analyze: a TRACE file is required unless --cache is given",

@@ -24,7 +24,7 @@ from .sweep import memory_sweep, node_sweep
 
 __all__ = [
     "fig1", "render_fig1",
-    "fig2", "render_fig2",
+    "fig2", "fig2_cells", "fig2_collect", "render_fig2",
     "fig3", "render_fig3",
     "fig4", "render_fig4",
     "fig5", "render_fig5",
@@ -96,27 +96,26 @@ def render_fig1(data: dict | None = None) -> str:
 # ---------------------------------------------------------------------------
 # Figure 2: throughput, 8 nodes, all traces, all systems
 # ---------------------------------------------------------------------------
-def fig2(
+def fig2_cells(
     trace_names: Sequence[str] | None = None,
     num_nodes: int = 8,
     memories_mb: Sequence[float] | None = None,
-    workers: int | None = None,
-) -> dict[str, dict]:
-    """Figure 2 (a-d): throughput of PRESS and the three middleware
-    variants vs per-node memory, one panel per trace.
+) -> tuple[list[str], list[float], list]:
+    """The flat Figure-2 cell matrix: ``(names, memories, cells)``.
 
-    ``workers`` shards the full (trace × system × memory) cell matrix
-    across processes (default: the ``REPRO_WORKERS`` knob); the merged
-    panels are byte-identical to a serial run.
+    One flat cell list over all panels so a parallel run keeps every
+    worker busy across trace boundaries, not just within one panel.
+    Split out from :func:`fig2` so callers that need per-cell telemetry
+    (``sweep --ledger``) can drive the observed runner over the *same*
+    cells and regroup with :func:`fig2_collect`.  Memory points pass
+    through unconverted (int stays int) so BENCH params digests remain
+    byte-stable against the committed baselines.
     """
-    from .parallel import run_cells
     from .runner import ExperimentConfig
 
     names = list(trace_names or TRACE_NAMES)
     memories = list(memories_mb if memories_mb is not None
                     else defaults.memory_points_mb())
-    # One flat cell list over all panels so a parallel run keeps every
-    # worker busy across trace boundaries, not just within one panel.
     cells = [
         ExperimentConfig(
             system=system,
@@ -129,7 +128,15 @@ def fig2(
         for system in ALL_SYSTEMS
         for mem in memories
     ]
-    results = run_cells(cells, workers=workers)
+    return names, memories, cells
+
+
+def fig2_collect(
+    names: Sequence[str],
+    memories: Sequence[float],
+    results: Sequence,
+) -> dict[str, dict]:
+    """Regroup a flat :func:`fig2_cells` result list into fig2 panels."""
     panels = {}
     n = len(memories)
     per_trace = len(ALL_SYSTEMS) * n
@@ -145,6 +152,26 @@ def fig2(
             },
         }
     return panels
+
+
+def fig2(
+    trace_names: Sequence[str] | None = None,
+    num_nodes: int = 8,
+    memories_mb: Sequence[float] | None = None,
+    workers: int | None = None,
+) -> dict[str, dict]:
+    """Figure 2 (a-d): throughput of PRESS and the three middleware
+    variants vs per-node memory, one panel per trace.
+
+    ``workers`` shards the full (trace × system × memory) cell matrix
+    across processes (default: the ``REPRO_WORKERS`` knob); the merged
+    panels are byte-identical to a serial run.
+    """
+    from .parallel import run_cells
+
+    names, memories, cells = fig2_cells(trace_names, num_nodes, memories_mb)
+    results = run_cells(cells, workers=workers)
+    return fig2_collect(names, memories, results)
 
 
 def render_fig2(data: dict | None = None, **kw) -> str:

@@ -14,7 +14,12 @@ All renderers are plain text (terminal / CI-log friendly):
 * :func:`render_diff_report` — the "explain" report between two runs'
   attributions, with the conservation check;
 * :func:`render_slo_report` — windowed SLO evaluation: alerts,
-  breached windows, burn-rate sparkline.
+  breached windows, burn-rate sparkline;
+* :func:`render_fleet_report` — cross-cell sweep rollup: conservation
+  check, binding-resource frequency, (memory × system × trace)
+  throughput heatmaps, per-cell table;
+* :func:`render_progress_report` — a sweep progress JSONL replayed as
+  a completion timeline with rate/ETA/straggler summary.
 """
 
 from __future__ import annotations
@@ -44,6 +49,8 @@ __all__ = [
     "render_critical_report",
     "render_diff_report",
     "render_slo_report",
+    "render_fleet_report",
+    "render_progress_report",
     "format_span_tree",
 ]
 
@@ -560,4 +567,201 @@ def render_slo_report(report: dict[str, Any]) -> str:
     else:
         parts.append("")
         parts.append("no alerts: every window met its objectives")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# fleet report (cross-cell sweep rollup)
+# ---------------------------------------------------------------------------
+#: Shade ramp for the ASCII throughput heatmaps (low -> high).
+_HEAT_GLYPHS = " ░▒▓█"
+
+
+def _heat(value: float | None, lo: float, hi: float) -> str:
+    if value is None:
+        return "  ·  "
+    if hi <= lo:
+        frac = 1.0
+    else:
+        frac = (value - lo) / (hi - lo)
+    idx = min(len(_HEAT_GLYPHS) - 1, int(frac * (len(_HEAT_GLYPHS) - 1)
+                                         + 0.5))
+    return _HEAT_GLYPHS[idx] * 5
+
+
+def _fleet_heatmaps(matrix: dict[str, Any]) -> list[str]:
+    """One (system × memory) heatmap panel per trace, shades normalized
+    within the panel so the bottleneck-migration shape stands out."""
+    parts: list[str] = []
+    memories = matrix["memories_mb"]
+    header = "  " + f"{'system':<10}" + " ".join(
+        f"{m:>5g}" for m in memories
+    ) + "   MB/node"
+    for trace in matrix["traces"]:
+        grid = matrix["throughput_rps"][trace]
+        vals = [v for row in grid.values() for v in row if v is not None]
+        lo, hi = (min(vals), max(vals)) if vals else (0.0, 0.0)
+        parts.append(f"throughput heatmap — {trace} "
+                     f"(range {lo:.0f}..{hi:.0f} req/s)")
+        parts.append(header)
+        for system in matrix["systems"]:
+            cells = " ".join(
+                _heat(v, lo, hi) for v in grid[system]
+            )
+            parts.append(f"  {system:<10}{cells}")
+        parts.append("")
+    return parts
+
+
+def render_fleet_report(report: dict[str, Any]) -> str:
+    """The cross-cell rollup for an ``analyze fleet`` report."""
+    sweep = report.get("sweep", {})
+    parts = [
+        f"fleet report — sweep {sweep.get('run_id', '?')} "
+        f"(git {sweep.get('git_sha', '?')})",
+        f"  cells: {sweep.get('cells', 0)} total, "
+        f"{sweep.get('cells_ok', 0)} ok, "
+        f"{sweep.get('cells_failed', 0)} failed; "
+        f"workers: {sweep.get('workers', '?')}",
+    ]
+    progress = sweep.get("progress") or {}
+    if progress:
+        parts.append(
+            f"  wall-clock: {progress.get('elapsed_s', 0.0):.1f}s at "
+            f"{progress.get('cells_per_s', 0.0):.2f} cells/s"
+        )
+    overhead = sweep.get("obs_overhead") or {}
+    if overhead:
+        parts.append(
+            f"  observability overhead: "
+            f"{overhead.get('events_per_s_tracer_on', 0.0):,.0f} events/s "
+            f"traced vs {overhead.get('events_per_s_tracer_off', 0.0):,.0f} "
+            f"untraced ({100.0 * overhead.get('overhead_frac', 0.0):.1f}%)"
+        )
+
+    cons = report.get("conservation", {})
+    parts.append("")
+    if cons.get("cells_checked"):
+        verdict = "OK" if cons.get("ok") else "VIOLATED"
+        parts.append(
+            f"conservation check [{verdict}]: "
+            f"{cons['cells_checked']} cells, per-phase sum "
+            f"{cons.get('phase_sum_ms', 0.0):.3f} ms + residual "
+            f"{cons.get('residual_sum_ms', 0.0):.3f} ms vs total "
+            f"{cons.get('total_ms', 0.0):.3f} ms "
+            f"(error {cons.get('error_ms', 0.0):.2e} ms, "
+            f"bound {cons.get('bound_ms', 0.0):.2e} ms)"
+        )
+    else:
+        parts.append("conservation check: n/a "
+                     "(no cells carry attribution artifacts)")
+
+    freq = report.get("binding_resources", {})
+    if freq:
+        parts.append("")
+        parts.append(format_table(
+            ["resource", "cells bound"], list(freq.items()),
+            title="binding-resource frequency across the matrix",
+        ))
+
+    matrix = report.get("matrix")
+    if matrix:
+        parts.append("")
+        parts.extend(_fleet_heatmaps(matrix))
+
+    cells = report.get("cells", [])
+    if cells:
+        rows = [
+            (c.get("index"), c.get("system"), c.get("workload"),
+             c.get("mem_mb_per_node"), c.get("status"),
+             c.get("throughput_rps"), c.get("p95_ms"),
+             c.get("binding_resource") or "-",
+             c.get("wall_s"))
+            for c in cells
+        ]
+        parts.append(format_table(
+            ["#", "system", "trace", "MB/node", "status", "req/s",
+             "p95 ms", "binds", "wall s"],
+            rows, title="per-cell summary", ndigits=2,
+        ))
+
+    failed = report.get("failed_cells", [])
+    if failed:
+        parts.append("")
+        parts.append(f"failed cells ({len(failed)}):")
+        for f in failed:
+            parts.append(
+                f"  #{f.get('index')} {f.get('system')}/{f.get('workload')}"
+                f"/{f.get('mem_mb_per_node')}MB: {f.get('error')}"
+            )
+
+    slo = report.get("slo")
+    if slo:
+        parts.append("")
+        verdict = "met" if slo.get("ok") else "BREACHED"
+        parts.append(
+            f"fleet SLO [{verdict}]: {slo.get('cells_evaluated', 0)} cells "
+            f"evaluated, {slo.get('cells_breaching', 0)} breaching"
+        )
+        for b in slo.get("breaches", []):
+            parts.append(f"  {b['cell']}: " + "; ".join(b["breaches"]))
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# sweep progress report (telemetry replay)
+# ---------------------------------------------------------------------------
+def render_progress_report(events: Iterable[dict[str, Any]]) -> str:
+    """Replay a sweep progress JSONL as a human-readable timeline.
+
+    Handles the degenerate shapes gracefully: an empty sweep (no cells
+    ran) and a single-cell sweep (no straggler statistics possible).
+    """
+    events = list(events)
+    cells = [e for e in events if e.get("event") == "cell"]
+    end = next((e for e in events if e.get("event") == "end"), None)
+    start = next((e for e in events if e.get("event") == "start"), None)
+    total = (start or end or {}).get("total", len(cells))
+    if not cells:
+        return f"sweep progress: no cells ran (of {total} planned)"
+    parts = [f"sweep progress: {len(cells)}/{total} cells completed"]
+    for e in cells:
+        status = "ok" if e.get("status") == "ok" else "FAILED"
+        parts.append(
+            f"  [{e.get('elapsed_s', 0.0):8.2f}s] "
+            f"#{e.get('index'):>4} {e.get('system')}/{e.get('workload')}"
+            f"/{e.get('mem_mb_per_node'):g}MB "
+            f"{status:<6} wall {e.get('wall_s', 0.0):7.2f}s "
+            f"worker {e.get('worker')} "
+            f"({e.get('cells_per_s', 0.0):.2f}/s, "
+            f"eta {e.get('eta_s', 0.0):.0f}s)"
+        )
+    summary = end or {}
+    done = summary.get("done", len(cells))
+    failed = summary.get("failed",
+                         sum(1 for e in cells if e.get("status") != "ok"))
+    parts.append(
+        f"  done: {done}/{total} cells, {failed} failed, "
+        f"{summary.get('elapsed_s', cells[-1].get('elapsed_s', 0.0)):.2f}s "
+        f"({summary.get('cells_per_s', 0.0):.2f} cells/s)"
+    )
+    stragglers = summary.get("stragglers", [])
+    if len(cells) < 2:
+        parts.append("  stragglers: n/a (need at least 2 cells)")
+    elif stragglers:
+        for s in stragglers:
+            parts.append(
+                f"  straggler: #{s.get('index')} {s.get('cell')} "
+                f"wall {s.get('wall_s', 0.0):.2f}s "
+                f"({s.get('x_median', 0.0):.1f}x median)"
+            )
+    else:
+        parts.append("  stragglers: none")
+    workers = summary.get("workers", {})
+    if workers:
+        parts.append(
+            "  workers: " + ", ".join(
+                f"{name}={count}" for name, count in sorted(workers.items())
+            )
+        )
     return "\n".join(parts)

@@ -9,8 +9,8 @@ same two envelope fields:
   the whole family on any incompatible shape change, so a CI consumer
   checks a single number;
 * ``kind`` — which report this is (``"attribution"``, ``"diff"``,
-  ``"critical"``, ``"slo"``), so a file can be sniffed without trusting
-  its name.
+  ``"critical"``, ``"slo"``, ``"fleet"``), so a file can be sniffed
+  without trusting its name.
 
 :func:`as_report` stamps the envelope; :func:`check_report` validates a
 loaded document (the round-trip contract CI artifacts rely on).
@@ -29,11 +29,14 @@ __all__ = [
 
 #: Version of the shared analysis-output schema.  History:
 #: 1 — ``analyze --json`` attribution summary only (PR 4);
-#: 2 — envelope (``kind``) shared with diff / critical / SLO reports.
+#: 2 — envelope (``kind``) shared with diff / critical / SLO reports;
+#:     the ``"fleet"`` kind (cross-cell sweep rollups) was added later
+#:     as a purely additive change — no version bump, so committed
+#:     version-2 baselines keep validating.
 OUTPUT_SCHEMA_VERSION = 2
 
 #: Every report kind the analysis layer emits.
-REPORT_KINDS = ("attribution", "diff", "critical", "slo")
+REPORT_KINDS = ("attribution", "diff", "critical", "slo", "fleet")
 
 
 def as_report(kind: str, payload: dict[str, Any]) -> dict[str, Any]:

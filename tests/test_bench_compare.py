@@ -277,6 +277,83 @@ class TestCliGate:
 
 
 # ---------------------------------------------------------------------------
+# compare --all
+# ---------------------------------------------------------------------------
+class TestCompareAll:
+    """`compare --all` gates every BENCH_*.json in one invocation."""
+
+    def _write(self, tmp_path, name, metrics, params=None):
+        path = tmp_path / name
+        dump_record(make_record(metrics, params=params), path)
+        return path
+
+    def test_all_gates_every_record_in_dir(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_a.json", {"m": 100.0})
+        self._write(baselines, "BENCH_b.json", {"m": 100.0})
+        self._write(tmp_path, "BENCH_a.json", {"m": 99.0})
+        self._write(tmp_path, "BENCH_b.json", {"m": 101.0})
+        # Only BENCH_*.json is picked up, not other JSON lying around.
+        (tmp_path / "not-a-record.json").write_text("{}")
+        assert bench_main([
+            "compare", "--all", "--dir", str(tmp_path),
+            "--baselines", str(baselines),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("no metric regressed") == 2
+
+    def test_all_trips_on_any_regression(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_ok.json", {"m": 100.0})
+        self._write(baselines, "BENCH_bad.json", {"m": 100.0})
+        self._write(tmp_path, "BENCH_ok.json", {"m": 100.0})
+        self._write(tmp_path, "BENCH_bad.json", {"m": 50.0})
+        assert bench_main([
+            "compare", "--all", "--dir", str(tmp_path),
+            "--baselines", str(baselines),
+        ]) == 1
+        capsys.readouterr()
+
+    def test_all_skips_unbaselined_records(self, tmp_path, capsys):
+        """The CI semantics: sched/ring/sweep-smoke records have no
+        committed baseline and must stay ungated under --all."""
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_gated.json", {"m": 100.0})
+        self._write(tmp_path, "BENCH_gated.json", {"m": 100.0})
+        self._write(tmp_path, "BENCH_sweep_smoke.json", {"m": 1.0})
+        assert bench_main([
+            "compare", "--all", "--dir", str(tmp_path),
+            "--baselines", str(baselines),
+        ]) == 0
+        assert "no baseline" in capsys.readouterr().out
+        # --strict still turns the skip into the distinct exit code.
+        assert bench_main([
+            "compare", "--all", "--dir", str(tmp_path),
+            "--baselines", str(baselines), "--strict",
+        ]) == 3
+        capsys.readouterr()
+
+    def test_all_with_records_is_usage_error(self, tmp_path, capsys):
+        rec = self._write(tmp_path, "BENCH_x.json", {"m": 1.0})
+        assert bench_main(["compare", str(rec), "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_no_records_and_no_all_is_usage_error(self, capsys):
+        assert bench_main(["compare"]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_all_over_empty_dir_is_usage_error(self, tmp_path, capsys):
+        """Zero matches must not masquerade as a clean gate."""
+        assert bench_main([
+            "compare", "--all", "--dir", str(tmp_path),
+        ]) == 2
+        assert "no BENCH_*.json" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # explain hook
 # ---------------------------------------------------------------------------
 class TestExplain:

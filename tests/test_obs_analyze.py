@@ -229,6 +229,47 @@ class TestChromeExport:
         assert ev["args"]["unfinished"] is True
         assert "dur" not in ev
 
+    def test_multi_cell_merge_gets_disjoint_pid_blocks(self):
+        """The fleet view: each cell's processes land in their own pid
+        block and every process name is prefixed with the cell label."""
+        from repro.obs.export import to_chrome_trace_multi
+
+        def recs(node):
+            return [
+                {"trace": 1, "span": 1, "parent": None, "name": "request",
+                 "node": node, "start": 0.0, "end": 1.0},
+                {"trace": 1, "span": 2, "parent": None, "name": "request",
+                 "node": None, "start": 0.0, "end": 0.5},
+            ]
+
+        doc = to_chrome_trace_multi([
+            ("rutgers/press/4MB", recs(node=1)),
+            ("rutgers/cc-kmc/4MB", recs(node=0)),
+        ])
+        cells = doc["otherData"]["cells"]
+        assert [c["label"] for c in cells] == [
+            "rutgers/press/4MB", "rutgers/cc-kmc/4MB"]
+        # cell 0 used pids {0, 2} (cluster + node1), so cell 1's block
+        # starts past its max pid
+        assert cells[0]["pid_base"] == 0
+        assert cells[1]["pid_base"] == 3
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "process_name"
+        }
+        assert "rutgers/press/4MB | cluster" in names
+        assert "rutgers/cc-kmc/4MB | node0" in names
+        cell1_pids = {
+            ev["pid"] for ev in doc["traceEvents"]
+            if ev["pid"] >= cells[1]["pid_base"]
+        }
+        cell0_pids = {
+            ev["pid"] for ev in doc["traceEvents"]
+            if ev["pid"] < cells[1]["pid_base"]
+        }
+        assert cell0_pids == {0, 2} and cell1_pids == {3, 4}
+
 
 class TestTimeseries:
     def test_totals_and_bounds(self, kmc_run):
