@@ -161,7 +161,7 @@ class CellOutcome:
 class SweepCellError(RuntimeError):
     """One or more sweep cells failed; names each failing cell."""
 
-    def __init__(self, outcomes: Sequence[CellOutcome]):
+    def __init__(self, outcomes: Sequence[CellOutcome]) -> None:
         self.outcomes = list(outcomes)
         lines = [f"{len(self.outcomes)} sweep cell(s) failed:"]
         for out in self.outcomes:
@@ -277,7 +277,7 @@ class SweepProgress:
         clock: Optional[Callable[[], float]] = None,
         straggler_factor: float = 3.0,
         stream: Optional[IO[str]] = None,
-    ):
+    ) -> None:
         if total < 0:
             raise ValueError("total must be >= 0")
         if straggler_factor <= 1.0:

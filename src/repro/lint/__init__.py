@@ -1,7 +1,8 @@
 """simlint — determinism & cache-invariant static analysis for this repo.
 
 An AST-based lint suite whose rules encode the properties the golden
-traces, chaos replay, and CC-KMC invariant claims silently rely on:
+traces, chaos replay, and CC-KMC invariant claims silently rely on.
+Per-file rules (v1):
 
 * **SL01** — no unordered set/dict iteration feeding simulation state
 * **SL02** — no wall-clock or ambient randomness outside ``repro.sim.rng``
@@ -10,25 +11,52 @@ traces, chaos replay, and CC-KMC invariant claims silently rely on:
 * **SL05** — no mutable default arguments
 * **SL00** — suppression hygiene (pragmas must carry a justification)
 
+Whole-program rules (v2), built on a project-wide call graph
+(:mod:`~repro.lint.callgraph`) and a fixed-point taint dataflow engine
+(:mod:`~repro.lint.dataflow`, :mod:`~repro.lint.taint`):
+
+* **SL06** — interprocedural nondeterminism taint: unordered iteration,
+  ambient randomness, wall-clock, or non-``REPRO_*`` environment values
+  flowing into sim state, trace output, or BENCH records — reported
+  with the full source→sink witness path, across module boundaries
+* **SL07** — units flow: ``*_ms``/``*_s``/``*_bytes``/``*_kb``/``*_mb``/
+  ``*_blocks`` naming conventions checked across assignments,
+  comparisons, ``+``/``-``, and call arguments
+* **SL08** — stale suppressions: pragmas and allow entries must still
+  suppress something, so the suppression inventory can only shrink
+* **SL09** — no mutation of worker-reachable state after pool creation
+
 Run it with ``python -m repro.lint [paths...]``; configuration lives in
-``[tool.simlint]`` in ``pyproject.toml``.  See DESIGN.md §16 for each
-rule's rationale.
+``[tool.simlint]`` in ``pyproject.toml``.  ``--explain SLxx`` prints a
+rule's rationale and examples.  See DESIGN.md §16.
 """
 
 from .config import LintConfig, load_config
+from .docs import RULE_DOCS, RuleDoc, render_explain, rule_doc
 from .engine import Finding, lint_paths, lint_source
-from .report import JSON_SCHEMA_VERSION, render_text, to_json_dict
+from .project import all_project_rules
+from .report import (
+    JSON_SCHEMA_VERSION, findings_from_json, render_text, to_json_dict,
+)
 from .rules import all_rules, rule_catalog
+from .taint import TaintStep
 
 __all__ = [
     "LintConfig",
     "load_config",
     "Finding",
+    "TaintStep",
     "lint_paths",
     "lint_source",
     "render_text",
     "to_json_dict",
+    "findings_from_json",
     "JSON_SCHEMA_VERSION",
     "all_rules",
+    "all_project_rules",
     "rule_catalog",
+    "RuleDoc",
+    "RULE_DOCS",
+    "rule_doc",
+    "render_explain",
 ]

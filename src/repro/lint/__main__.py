@@ -1,6 +1,12 @@
 """``python -m repro.lint`` — run the simlint suite.
 
 Exit codes: 0 = clean, 1 = findings, 2 = usage/configuration error.
+
+By default both layers run: the per-file rules (SL00–SL05) and the
+whole-program rules (SL06–SL09).  The suppression-staleness audit
+(SL08) only engages on *full* runs — no explicit paths, or paths
+covering the configured default set — because a partial run cannot
+prove a suppression dead.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ from pathlib import Path
 from collections.abc import Sequence
 
 from .config import load_config
+from .docs import render_explain, rule_doc
 from .engine import lint_paths
+from .project import all_project_rules
 from .report import render_text, to_json_dict
 from .rules import all_rules, rule_catalog
 
@@ -31,35 +39,51 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json-out", metavar="FILE",
                         help="also write the JSON report to FILE")
     parser.add_argument("--select", metavar="RULES",
-                        help="comma-separated rule ids to run (default: all)")
+                        help="comma-separated rule ids to run (default: all; "
+                             "disables the SL08 staleness audit)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print one rule's rationale, examples, and "
+                             "pragma contract, then exit")
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    if args.explain:
+        doc = rule_doc(args.explain)
+        if doc is None:
+            print(f"error: unknown rule id {args.explain!r}", file=sys.stderr)
+            return 2
+        print(render_explain(doc))
+        return 0
+
     if args.list_rules:
         for rule_id, doc in rule_catalog():
             head, _, rest = doc.partition("\n")
             print(f"{rule_id}  {head}")
             if rest.strip():
-                print(textwrap.indent(textwrap.dedent(rest).strip(), "      "))
+                print(textwrap.indent(textwrap.fill(rest.strip(), 72), "      "))
             print()
         return 0
 
     config = load_config()
     rules = list(all_rules())
+    project_rules = list(all_project_rules())
+    selected_all = args.select is None
     if args.select:
         wanted = {r.strip().upper() for r in args.select.split(",") if r.strip()}
-        known = {r.id for r in rules} | {"SL00"}
+        known = ({r.id for r in rules} | {r.id for r in project_rules}
+                 | {"SL00"})
         unknown = wanted - known
         if unknown:
             print(f"error: unknown rule id(s): {', '.join(sorted(unknown))}",
                   file=sys.stderr)
             return 2
         rules = [r for r in rules if r.id in wanted]
+        project_rules = [r for r in project_rules if r.id in wanted]
 
     paths: list[str] = list(args.paths) or list(config.paths)
     missing = [p for p in paths if not Path(p).exists()]
@@ -67,18 +91,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    findings, files_checked = lint_paths(paths, config, rules)
+    # SL08 needs every rule to have run over the full configured file
+    # set; otherwise an unused pragma proves nothing.
+    full_run = selected_all and (not args.paths
+                                 or set(paths) >= set(config.paths))
+
+    findings, files_checked = lint_paths(paths, config, rules,
+                                         project_rules=project_rules,
+                                         full_run=full_run)
     if files_checked == 0:
         print("error: no python files found under the given paths",
               file=sys.stderr)
         return 2
 
-    doc = to_json_dict(findings, files_checked)
+    doc_json = to_json_dict(findings, files_checked)
     if args.json_out:
-        Path(args.json_out).write_text(json.dumps(doc, indent=2) + "\n",
+        Path(args.json_out).write_text(json.dumps(doc_json, indent=2) + "\n",
                                        encoding="utf-8")
     if args.format == "json":
-        print(json.dumps(doc, indent=2))
+        print(json.dumps(doc_json, indent=2))
     else:
         print(render_text(findings, files_checked))
     return 1 if findings else 0

@@ -1,0 +1,849 @@
+"""Fixed-point interprocedural taint propagation for simlint v2 (SL06).
+
+The engine computes, over the :class:`~repro.lint.callgraph.Program`, a
+*summary* per function — the taint its return value generates, which
+parameters flow to the return, which parameters reach a determinism sink
+inside it, and which parameters it stores into object attributes — and
+iterates the whole set to a fixed point (the lattice is finite and every
+update is a monotone join, so iteration terminates; a pass cap guards
+the degenerate case).  A final *report* pass re-walks every function
+with the converged summaries and emits one finding per source→sink
+flow, carrying the full witness path.
+
+Sources (see :mod:`repro.lint.taint`): wall-clock reads, ambient
+randomness, ``os.environ`` outside the sanctioned ``REPRO_*`` namespace,
+and values whose *order* was born from a set.  Sinks: the configured
+sink callables (event scheduling, trace emission, BENCH wrapping) plus
+any assignment into simulation state (attribute/subscript stores inside
+the state-bearing packages, and module globals there).
+
+Iterating an unordered container additionally opens an *order context*:
+every sink reached inside the loop body executes in nondeterministic
+sequence even if its arguments are clean, so those sinks are tainted
+too.  ``sorted()`` — or the same ``# simlint: ordered -- reason`` proof
+comment SL01 honours — closes the context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+from .callgraph import FunctionInfo, ModuleInfo, Program
+from .config import LintConfig, path_matches
+from .engine import FilePragmas
+from .taint import (
+    AMBIENT, CLEAN, EMPTY, ENVIRON, Taint, TaintStep, TaintValue, UNORDERED,
+    WALLCLOCK,
+)
+from .rules import _DATETIME_AMBIENT, _NP_RANDOM_OK, _WALL_CLOCK
+
+__all__ = ["FunctionSummary", "TaintAnalysis", "FlowFinding"]
+
+_MAX_PASSES = 10
+
+#: Builtins whose result does not depend on argument *order* or carry
+#: the argument's taint onward (order-insensitive consumers).
+_ORDER_INSENSITIVE = {
+    "len", "min", "max", "any", "all", "bool", "isinstance", "issubclass",
+    "hasattr", "getattr", "id", "type", "repr",
+}
+#: Callables that cleanse UNORDERED (they impose a deterministic order).
+_ORDER_CLEANSERS = {"sorted"}
+#: repro.sim.rng entry points: seeded by construction, outputs are clean.
+_SEEDED_SOURCES = {"repro.sim.rng.stream", "repro.sim.rng.derive_seed"}
+
+
+@dataclass
+class SinkHit:
+    """A parameter of a function reaching a sink inside it."""
+
+    steps: tuple[TaintStep, ...]
+    description: str
+
+
+@dataclass
+class FunctionSummary:
+    """Converged dataflow facts about one function."""
+
+    ret: TaintValue = field(default_factory=TaintValue)
+    #: param index -> first-witness path from the param to a sink.
+    param_sinks: dict[int, SinkHit] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FlowFinding:
+    """One source→sink flow, ready for the SL06 rule to report."""
+
+    path: str
+    line: int
+    col: int
+    label: str
+    sink: str
+    trace: tuple[TaintStep, ...]
+
+
+def _qualname(node: ast.AST, mod: ModuleInfo) -> str | None:
+    """Resolve a Name/Attribute chain against the module's imports."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    base = cur.id
+    if base in mod.module_aliases:
+        root = mod.module_aliases[base]
+    elif base in mod.from_imports:
+        root = mod.from_imports[base]
+    else:
+        return None
+    return ".".join([root, *reversed(parts)]) if parts else root
+
+
+class TaintAnalysis:
+    """Whole-program taint propagation with per-function summaries."""
+
+    def __init__(self, program: Program, config: LintConfig,
+                 pragmas: Mapping[str, FilePragmas]):
+        self.program = program
+        self.config = config
+        self.pragmas = pragmas
+        self.summaries: dict[str, FunctionSummary] = {}
+        #: (class qualname, attr) -> taint stored into it anywhere.
+        self.attr_taint: dict[tuple[str, str], Taint] = {}
+        #: (module, global name) -> taint stored at module level.
+        self.global_taint: dict[tuple[str, str], Taint] = {}
+        self.findings: list[FlowFinding] = []
+        self._changed = False
+        self._emit = False
+        self._seen: set[tuple[str, int, str, str]] = set()
+        #: (fn qualname, param idx) -> (literal strings seen, all literal?)
+        self._param_literals: dict[tuple[str, int],
+                                   tuple[frozenset[str], bool]] = {}
+
+    # -- public entry -------------------------------------------------------
+    def run(self) -> list[FlowFinding]:
+        for _ in range(_MAX_PASSES):
+            self._changed = False
+            self._walk_program()
+            if not self._changed:
+                break
+        self._emit = True
+        self._walk_program()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.label))
+        return self.findings
+
+    def _walk_program(self) -> None:
+        for name in sorted(self.program.modules):
+            mod = self.program.modules[name]
+            _FunctionWalk(self, mod, None).run_module_body()
+            for fn in self.program.iter_functions(mod):
+                _FunctionWalk(self, mod, fn).run()
+
+    # -- shared state updates (monotone joins) ------------------------------
+    def summary(self, fn: FunctionInfo) -> FunctionSummary:
+        return self.summaries.setdefault(fn.qualname, FunctionSummary())
+
+    def join_ret(self, fn: FunctionInfo, value: TaintValue) -> None:
+        summ = self.summary(fn)
+        joined = summ.ret.join(value)
+        if joined != summ.ret:
+            summ.ret = joined
+            self._changed = True
+
+    def join_param_sink(self, fn: FunctionInfo, idx: int, hit: SinkHit) -> None:
+        summ = self.summary(fn)
+        if idx not in summ.param_sinks:
+            summ.param_sinks[idx] = hit
+            self._changed = True
+
+    def join_attr(self, cls_qual: str, attr: str, taint: Taint) -> None:
+        key = (cls_qual, attr)
+        cur = self.attr_taint.get(key, EMPTY)
+        joined = cur.join(taint)
+        if joined != cur:
+            self.attr_taint[key] = joined
+            self._changed = True
+
+    def join_global(self, module: str, name: str, taint: Taint) -> None:
+        key = (module, name)
+        cur = self.global_taint.get(key, EMPTY)
+        joined = cur.join(taint)
+        if joined != cur:
+            self.global_taint[key] = joined
+            self._changed = True
+
+    # -- findings -----------------------------------------------------------
+    def report_flow(self, path: str, node: ast.AST, taint: Taint,
+                    sink: str, tail: tuple[TaintStep, ...] = ()) -> None:
+        if not self._emit or not taint:
+            return
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        for label in sorted(taint.labels):
+            key = (path, line, label, sink)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.findings.append(FlowFinding(
+                path=path, line=line, col=col, label=label, sink=sink,
+                trace=taint.path(label) + tail,
+            ))
+
+    def param_literals(self, fn: FunctionInfo,
+                       idx: int) -> tuple[frozenset[str], bool]:
+        """Every string literal passed for ``fn``'s parameter ``idx``
+        across the whole program, plus whether *all* observed arguments
+        were literals.  Lets ``os.environ.get(name)`` with a parameter
+        key be judged against the actual keys callers pass."""
+        cache_key = (fn.qualname, idx)
+        cached = self._param_literals.get(cache_key)
+        if cached is not None:
+            return cached
+        literals: set[str] = set()
+        all_literal = True
+
+        def collect(mod: ModuleInfo, arg: ast.expr) -> None:
+            nonlocal all_literal
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                literals.add(arg.value)
+                return
+            if isinstance(arg, ast.Name):
+                lit = mod.str_constants.get(arg.id)
+                if lit is not None:
+                    literals.add(lit)
+                    return
+            all_literal = False
+
+        for mod in self.program.modules.values():
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                ref = self.program.function_ref(mod, node.func)
+                if ref is None or ref.qualname != fn.qualname:
+                    continue
+                for pos, arg in enumerate(node.args):
+                    if ref.arg_param_index(node, pos=pos) == idx:
+                        collect(mod, arg)
+                for kw in node.keywords:
+                    if kw.arg is not None \
+                            and ref.arg_param_index(node, keyword=kw.arg) == idx:
+                        collect(mod, kw.value)
+        result = (frozenset(literals), all_literal)
+        self._param_literals[cache_key] = result
+        return result
+
+    # -- configuration probes ----------------------------------------------
+    def in_state_scope(self, path: str) -> bool:
+        return any(path_matches(path, p) for p in self.config.sl06_state_paths)
+
+    def sink_for_call(self, mod: ModuleInfo, call: ast.Call,
+                      targets: list[FunctionInfo]) -> str | None:
+        """The sink description if this call is a configured sink."""
+        entries = self.config.sl06_sinks
+        for target in targets:
+            qual = target.qualname
+            for entry in entries:
+                if qual == entry or qual.endswith("." + entry):
+                    return f"sink callable {entry}"
+                # "Cls" entries designate constructors.
+                if "." not in entry and qual.endswith(f".{entry}.__init__"):
+                    return f"sink constructor {entry}()"
+        if targets:
+            return None  # resolved to a non-sink: trust the resolution
+        func = call.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if name is not None:
+            for entry in entries:
+                head, _, meth = entry.rpartition(".")
+                if meth == name and (head or isinstance(func, ast.Name)):
+                    return f"sink callable {entry}"
+        return None
+
+
+class _FunctionWalk:
+    """One intraprocedural pass over a function (or a module body)."""
+
+    def __init__(self, analysis: TaintAnalysis, mod: ModuleInfo,
+                 fn: FunctionInfo | None):
+        self.a = analysis
+        self.mod = mod
+        self.fn = fn
+        self.env: dict[str, TaintValue] = {}
+        self.type_env: dict[str, str] = {}
+        #: Taint of the enclosing unordered-iteration context (loop body
+        #: executes in nondeterministic order).
+        self.order_ctx: Taint = EMPTY
+        if fn is not None:
+            for i, name in enumerate(fn.params):
+                self.env[name] = TaintValue.param(i)
+                ann = fn.annotations.get(name)
+                if ann:
+                    cls = analysis.program.class_info(ann.split("[")[0], mod)
+                    if cls is not None:
+                        self.type_env[name] = cls.qualname
+
+    # -- entry points -------------------------------------------------------
+    def run(self) -> None:
+        assert self.fn is not None
+        body = getattr(self.fn.node, "body", [])
+        self._exec_block(body)
+
+    def run_module_body(self) -> None:
+        stmts = [s for s in self.mod.tree.body
+                 if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                       ast.ClassDef, ast.Import, ast.ImportFrom))]
+        self._exec_block(stmts)
+        # Module-level names become global taint.
+        for name, value in self.env.items():
+            if value.taint:
+                self.a.join_global(self.mod.name, name, value.taint)
+
+    # -- statement execution ------------------------------------------------
+    def _exec_block(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, value, stmt)
+            self._track_constructed(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value), stmt)
+            if isinstance(stmt.target, ast.Name):
+                ann = _ann_text(stmt.annotation)
+                if ann:
+                    cls = self.a.program.class_info(ann.split("[")[0], self.mod)
+                    if cls is not None:
+                        self.type_env[stmt.target.id] = cls.qualname
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value).join(self._eval(stmt.target))
+            self._assign(stmt.target, value, stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and self.fn is not None:
+                value = self._eval(stmt.value)
+                if value:
+                    step = TaintStep(self.mod.path, stmt.lineno,
+                                     f"returned from {self.fn.name}()")
+                    self.a.join_ret(self.fn, value.with_step(step))
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            # Two passes propagate loop-carried taint one level.
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value, stmt)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Top-level functions and methods are indexed and walked
+            # separately; a *nested* def is a closure over this scope,
+            # so walk its body inline (params unknown → clean), keeping
+            # writes to enclosing variables.
+            if self.fn is not None:
+                self._exec_nested_def(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            pass  # class bodies are indexed and walked separately
+        # remaining statement kinds carry no dataflow we track
+
+    def _exec_nested_def(self, stmt: "ast.FunctionDef | ast.AsyncFunctionDef",
+                         ) -> None:
+        args = stmt.args
+        inner_params = [a.arg for a in (*args.posonlyargs, *args.args,
+                                        *args.kwonlyargs)]
+        shadowed = {p: self.env.get(p) for p in inner_params}
+        for p in inner_params:
+            self.env[p] = CLEAN
+        try:
+            self._exec_block(stmt.body)
+        finally:
+            for p, old in shadowed.items():
+                if old is None:
+                    self.env.pop(p, None)
+                else:
+                    self.env[p] = old
+
+    def _exec_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        iterable = self._eval(stmt.iter)
+        element = iterable
+        opened_ctx = EMPTY
+        # Only consult the pragma once the iterable is known unordered:
+        # a successful lookup marks the pragma live for SL08.
+        if UNORDERED in iterable.taint.labels:
+            if self._has_ordered_pragma(stmt):
+                element = iterable.without((UNORDERED,))
+            else:
+                step = TaintStep(self.mod.path, stmt.lineno,
+                                 "iterated in nondeterministic order")
+                opened_ctx = iterable.taint.only((UNORDERED,)).with_step(step)
+        self._assign(stmt.target, element, stmt)
+        saved = self.order_ctx
+        self.order_ctx = self.order_ctx.join(opened_ctx)
+        try:
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+        finally:
+            self.order_ctx = saved
+        self._exec_block(stmt.orelse)
+
+    def _track_constructed(self, targets: list[ast.expr],
+                           value: ast.expr) -> None:
+        """``x = Cls(...)`` records x's class for method resolution."""
+        if not (isinstance(value, ast.Call) and len(targets) == 1
+                and isinstance(targets[0], ast.Name)):
+            return
+        resolved = self.a.program.resolve_call(self.mod, value,
+                                               self.type_env, self.fn)
+        for target_fn in resolved:
+            if target_fn.name == "__init__" and target_fn.cls is not None:
+                self.type_env[targets[0].id] = target_fn.cls.qualname
+                return
+
+    def _has_ordered_pragma(self, node: ast.AST) -> bool:
+        pragmas = self.a.pragmas.get(self.mod.path)
+        if pragmas is None:
+            return False
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        return pragmas.ordered((first, last))
+
+    # -- assignment targets -------------------------------------------------
+    def _assign(self, target: ast.expr, value: TaintValue,
+                stmt: ast.stmt) -> None:
+        value = value.join(TaintValue(self.order_ctx))
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            if self.fn is None and value.taint:
+                self.a.join_global(self.mod.name, target.id, value.taint)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._assign(inner, value, stmt)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, value, stmt)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._store_into_object(target, value, stmt)
+
+    def _store_into_object(self, target: ast.Attribute | ast.Subscript,
+                           value: TaintValue, stmt: ast.stmt) -> None:
+        # Record attribute taint for self.<attr> stores.
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id in ("self", "cls") \
+                and self.fn is not None and self.fn.cls is not None:
+            if value.taint:
+                step = TaintStep(self.mod.path, stmt.lineno,
+                                 f"stored in {self.fn.cls.name}.{target.attr}")
+                self.a.join_attr(self.fn.cls.qualname, target.attr,
+                                 value.taint.with_step(step))
+        # Any store into an object inside the state-bearing packages is a
+        # sink: the value (or its ordering) becomes simulation state.
+        if not self.a.in_state_scope(self.mod.path):
+            return
+        # Storing a directly-born set *as a set* is fine — membership
+        # structures carry no order.  The hazard is materialized order
+        # (list(set), iteration), which keeps the UNORDERED label.
+        rhs = getattr(stmt, "value", None)
+        if rhs is not None and _is_direct_set_expr(rhs):
+            value = value.without((UNORDERED,))
+        if not value or self._suppressed(stmt):
+            return
+        desc = "assignment into simulation state"
+        if value.taint:
+            self.a.report_flow(self.mod.path, stmt, value.taint, desc)
+        if self.fn is not None:
+            for idx, steps in value.param_deps.items():
+                hit = SinkHit(
+                    steps + (TaintStep(self.mod.path, stmt.lineno, desc),),
+                    desc)
+                self.a.join_param_sink(self.fn, idx, hit)
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        """SL06 disable pragmas are honoured at the sink site."""
+        pragmas = self.a.pragmas.get(self.mod.path)
+        if pragmas is None:
+            return False
+        first = getattr(node, "lineno", 1)
+        last = getattr(node, "end_lineno", None) or first
+        return pragmas.disabled("SL06", (first, last))
+
+    # -- expression evaluation ----------------------------------------------
+    def _eval(self, expr: ast.expr | None) -> TaintValue:
+        if expr is None:
+            return CLEAN
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            taint = self.a.global_taint.get((self.mod.name, expr.id))
+            if taint is not None:
+                return TaintValue(taint)
+            origin = self.mod.from_imports.get(expr.id)
+            if origin is not None:
+                owner, _, name = origin.rpartition(".")
+                taint = self.a.global_taint.get((owner, name))
+                if taint is not None:
+                    return TaintValue(taint)
+            return CLEAN
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Subscript):
+            if self._is_environ(expr.value):
+                return self._environ_taint(expr, expr.slice)
+            return self._eval(expr.value).join(self._eval(expr.slice))
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            value = CLEAN
+            if isinstance(expr, ast.Set):
+                for elt in expr.elts:
+                    value = value.join(self._eval(elt))
+            else:
+                value = self._eval_comprehension(expr)
+            step = TaintStep(self.mod.path, expr.lineno, "set born here")
+            return value.join(TaintValue(Taint.source(UNORDERED, step)))
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            value = CLEAN
+            for elt in expr.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                value = value.join(self._eval(inner))
+            return value
+        if isinstance(expr, ast.Dict):
+            value = CLEAN
+            for part in [*expr.keys, *expr.values]:
+                if part is not None:
+                    value = value.join(self._eval(part))
+            return value
+        if isinstance(expr, ast.BinOp):
+            return self._eval(expr.left).join(self._eval(expr.right))
+        if isinstance(expr, ast.BoolOp):
+            value = CLEAN
+            for operand in expr.values:
+                value = value.join(self._eval(operand))
+            return value
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.Compare):
+            value = self._eval(expr.left)
+            for comparator in expr.comparators:
+                value = value.join(self._eval(comparator))
+            # Membership / equality against a set is order-insensitive.
+            return value.without((UNORDERED,))
+        if isinstance(expr, ast.IfExp):
+            return (self._eval(expr.body).join(self._eval(expr.orelse))
+                    .join(self._eval(expr.test)))
+        if isinstance(expr, ast.JoinedStr):
+            value = CLEAN
+            for part in expr.values:
+                if isinstance(part, ast.FormattedValue):
+                    value = value.join(self._eval(part.value))
+            return value
+        if isinstance(expr, (ast.Await, ast.YieldFrom)):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Yield):
+            return self._eval(expr.value) if expr.value else CLEAN
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.NamedExpr):
+            value = self._eval(expr.value)
+            self._assign(expr.target, value, ast.Expr(value=expr))
+            return value
+        return CLEAN  # constants, lambdas, ellipsis, ...
+
+    def _eval_comprehension(self, expr: ast.AST) -> TaintValue:
+        value = CLEAN
+        unordered_iter = False
+        src = CLEAN
+        for gen in getattr(expr, "generators", []):
+            it = self._eval(gen.iter)
+            if UNORDERED in it.taint.labels:
+                unordered_iter = True
+                src = it
+            self._assign(gen.target, it, ast.Expr(value=gen.iter))
+            value = value.join(it)
+        for attr in ("elt", "key", "value"):
+            sub = getattr(expr, attr, None)
+            if isinstance(sub, ast.expr):
+                value = value.join(self._eval(sub))
+        if unordered_iter and not isinstance(expr, (ast.SetComp, ast.DictComp)):
+            step = TaintStep(self.mod.path, getattr(expr, "lineno", 1),
+                             "materialized in set order")
+            value = value.join(src.with_step(step))
+        return value
+
+    def _eval_attribute(self, expr: ast.Attribute) -> TaintValue:
+        qual = _qualname(expr, self.mod)
+        if qual is not None:
+            source = self._source_for_qual(expr, qual, is_call=False)
+            if source is not None:
+                return source
+        # self.<attr> loads pick up recorded attribute taint.
+        if isinstance(expr.value, ast.Name) and expr.value.id in ("self", "cls") \
+                and self.fn is not None and self.fn.cls is not None:
+            taint = self.a.attr_taint.get((self.fn.cls.qualname, expr.attr))
+            base = TaintValue(taint) if taint is not None else CLEAN
+            return base
+        return self._eval(expr.value)
+
+    # -- calls ---------------------------------------------------------------
+    def _eval_call(self, call: ast.Call) -> TaintValue:
+        func = call.func
+        # Builtin cleansers / order-insensitive consumers.
+        if isinstance(func, ast.Name) and func.id not in self.mod.from_imports:
+            if func.id in _ORDER_INSENSITIVE:
+                for arg in call.args:
+                    self._eval(arg)
+                return CLEAN
+            if func.id in _ORDER_CLEANSERS:
+                value = CLEAN
+                for arg in call.args:
+                    value = value.join(self._eval(arg))
+                return value.without((UNORDERED,))
+            if func.id in ("set", "frozenset"):
+                value = CLEAN
+                for arg in call.args:
+                    value = value.join(self._eval(arg))
+                step = TaintStep(self.mod.path, call.lineno,
+                                 f"{func.id}() born here")
+                return value.join(TaintValue(Taint.source(UNORDERED, step)))
+
+        qual = _qualname(func, self.mod)
+        if qual is not None:
+            source = self._source_for_qual(call, qual, is_call=True)
+            if source is not None:
+                return source
+            if qual in _SEEDED_SOURCES:
+                for arg in call.args:
+                    self._eval(arg)
+                return CLEAN
+            if self._is_environ_qual(qual):
+                key = call.args[0] if call.args else None
+                return self._environ_taint(call, key)
+
+        targets = self.a.program.resolve_call(self.mod, call, self.type_env,
+                                              self.fn)
+        arg_values = self._call_arg_values(call)
+        self._check_call_sinks(call, targets, arg_values)
+
+        result = CLEAN
+        if targets:
+            for target in targets:
+                result = result.join(self._apply_summary(call, target,
+                                                         arg_values))
+        else:
+            # Unknown callable: conservatively pass argument taint through.
+            for _pos, _kw, value in arg_values:
+                result = result.join(value)
+            # A method call on a receiver keeps the receiver's taint too.
+            if isinstance(func, ast.Attribute):
+                result = result.join(self._eval(func.value))
+        return result
+
+    def _call_arg_values(self, call: ast.Call) \
+            -> list[tuple[int | None, str | None, TaintValue]]:
+        out: list[tuple[int | None, str | None, TaintValue]] = []
+        for pos, arg in enumerate(call.args):
+            inner = arg.value if isinstance(arg, ast.Starred) else arg
+            out.append((pos, None, self._eval(inner)))
+        for kw in call.keywords:
+            out.append((None, kw.arg, self._eval(kw.value)))
+        return out
+
+    def _check_call_sinks(self, call: ast.Call, targets: list[FunctionInfo],
+                          arg_values: list[tuple[int | None, str | None,
+                                                 TaintValue]]) -> None:
+        sink = self.a.sink_for_call(self.mod, call, targets)
+        if sink is not None:
+            for _pos, _kw, value in arg_values:
+                value = value.join(TaintValue(self.order_ctx))
+                if not value or self._suppressed(call):
+                    continue
+                if value.taint:
+                    step = TaintStep(self.mod.path, call.lineno,
+                                     f"flows into {sink}")
+                    self.a.report_flow(self.mod.path, call,
+                                       value.taint.with_step(step), sink)
+                if self.fn is not None:
+                    for idx, steps in value.param_deps.items():
+                        hit = SinkHit(
+                            steps + (TaintStep(self.mod.path, call.lineno,
+                                               f"flows into {sink}"),),
+                            sink)
+                        self.a.join_param_sink(self.fn, idx, hit)
+            if not arg_values and self.order_ctx and not self._suppressed(call):
+                step = TaintStep(self.mod.path, call.lineno,
+                                 f"reaches {sink} in loop order")
+                self.a.report_flow(self.mod.path, call,
+                                   self.order_ctx.with_step(step), sink)
+        # Summary-recorded sinks inside resolved callees.
+        for target in targets:
+            summ = self.a.summaries.get(target.qualname)
+            if summ is None or not summ.param_sinks:
+                continue
+            for pos, kw, value in arg_values:
+                value = value.join(TaintValue(self.order_ctx))
+                idx = target.arg_param_index(call, pos=pos, keyword=kw)
+                if idx is None or idx not in summ.param_sinks:
+                    continue
+                if not value or self._suppressed(call):
+                    continue
+                hit = summ.param_sinks[idx]
+                if value.taint:
+                    step = TaintStep(self.mod.path, call.lineno,
+                                     f"passed to {target.name}()")
+                    self.a.report_flow(self.mod.path, call, value.taint,
+                                       hit.description,
+                                       tail=(step, *hit.steps))
+                if self.fn is not None:
+                    for pidx, steps in value.param_deps.items():
+                        chained = SinkHit(
+                            steps + (TaintStep(self.mod.path, call.lineno,
+                                               f"passed to {target.name}()"),)
+                            + hit.steps,
+                            hit.description)
+                        self.a.join_param_sink(self.fn, pidx, chained)
+
+    def _apply_summary(self, call: ast.Call, target: FunctionInfo,
+                       arg_values: list[tuple[int | None, str | None,
+                                              TaintValue]]) -> TaintValue:
+        summ = self.a.summaries.get(target.qualname)
+        if summ is None or not summ.ret:
+            return CLEAN
+        step = TaintStep(self.mod.path, call.lineno,
+                         f"via call to {target.name}()")
+        result = TaintValue(summ.ret.taint).with_step(step)
+        for idx, ret_steps in summ.ret.param_deps.items():
+            for pos, kw, value in arg_values:
+                if target.arg_param_index(call, pos=pos, keyword=kw) == idx:
+                    carried = value
+                    for extra in ret_steps:
+                        carried = carried.with_step(extra)
+                    result = result.join(carried.with_step(step))
+        return result
+
+    # -- sources -------------------------------------------------------------
+    def _source_for_qual(self, node: ast.AST, qual: str,
+                         is_call: bool) -> TaintValue | None:
+        line = getattr(node, "lineno", 1)
+        if qual in _WALL_CLOCK or qual in _DATETIME_AMBIENT:
+            step = TaintStep(self.mod.path, line, f"wall-clock read ({qual})")
+            return TaintValue(Taint.source(WALLCLOCK, step))
+        if qual.startswith("random.") and qual.count(".") == 1:
+            if qual == "random.Random" and is_call:
+                call = node if isinstance(node, ast.Call) else None
+                if call is not None and call.args:
+                    return CLEAN  # seeded local instance: deterministic
+            step = TaintStep(self.mod.path, line,
+                             f"ambient randomness ({qual})")
+            return TaintValue(Taint.source(AMBIENT, step))
+        if qual.startswith("numpy.random."):
+            suffix = qual[len("numpy.random."):]
+            if suffix == "default_rng" and is_call:
+                call = node if isinstance(node, ast.Call) else None
+                if call is not None and not call.args and not call.keywords:
+                    step = TaintStep(self.mod.path, line,
+                                     "unseeded default_rng()")
+                    return TaintValue(Taint.source(AMBIENT, step))
+                return CLEAN  # seeded generator: clean by construction
+            if suffix and "." not in suffix and suffix not in _NP_RANDOM_OK:
+                step = TaintStep(self.mod.path, line,
+                                 f"ambient randomness ({qual})")
+                return TaintValue(Taint.source(AMBIENT, step))
+        if self._is_environ_qual(qual) and not is_call:
+            # bare `os.environ` reference (e.g. passed around)
+            return None
+        return None
+
+    def _is_environ_qual(self, qual: str) -> bool:
+        return qual in ("os.environ.get", "os.getenv", "os.environb.get")
+
+    def _is_environ(self, expr: ast.expr) -> bool:
+        qual = _qualname(expr, self.mod)
+        return qual in ("os.environ", "os.environb")
+
+    def _environ_taint(self, node: ast.AST, key: ast.expr | None) -> TaintValue:
+        prefixes = self.a.config.sl06_env_ok_prefixes
+        literal: str | None = None
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            literal = key.value
+        elif isinstance(key, ast.Name):
+            literal = self.mod.str_constants.get(key.id)
+            if literal is None:
+                origin = self.mod.from_imports.get(key.id)
+                if origin is not None:
+                    owner, _, name = origin.rpartition(".")
+                    owner_mod = self.a.program.modules.get(owner)
+                    if owner_mod is not None:
+                        literal = owner_mod.str_constants.get(name)
+            if literal is None and self.fn is not None:
+                # Key is this function's parameter: judge the literal
+                # keys every caller actually passes.
+                idx = self.fn.param_index(key.id)
+                if idx is not None:
+                    literals, all_literal = self.a.param_literals(self.fn, idx)
+                    if all_literal and literals and all(
+                            any(lit.startswith(p) for p in prefixes)
+                            for lit in literals):
+                        return CLEAN
+        if literal is not None and any(
+                literal.startswith(p) for p in prefixes):
+            return CLEAN
+        shown = literal if literal is not None else "<dynamic key>"
+        step = TaintStep(self.mod.path, getattr(node, "lineno", 1),
+                         f"environment read ({shown})")
+        return TaintValue(Taint.source(ENVIRON, step))
+
+
+def _is_direct_set_expr(expr: ast.expr) -> bool:
+    """True for expressions that *are* a set: ``{...}``, a set
+    comprehension, ``set(...)``/``frozenset(...)``, or a set-algebra
+    combination of such."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_direct_set_expr(expr.left) or _is_direct_set_expr(expr.right)
+    return False
+
+
+def _ann_text(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node).strip().strip("'\"")
+    except Exception:  # pragma: no cover
+        return None

@@ -28,9 +28,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Iterable, Mapping, Sequence
 
+from .callgraph import Program
 from .config import LintConfig
+from .taint import TaintStep
 
-__all__ = ["Finding", "FilePragmas", "LintContext", "Rule", "lint_source", "lint_paths"]
+__all__ = ["Finding", "FilePragmas", "LintContext", "ProjectContext",
+           "ProjectRule", "Rule", "lint_source", "lint_paths"]
 
 _PRAGMA_RE = re.compile(r"#\s*simlint\s*:\s*(?P<body>[^#]*)")
 _RULE_ID_RE = re.compile(r"^SL\d{2}$")
@@ -38,13 +41,20 @@ _RULE_ID_RE = re.compile(r"^SL\d{2}$")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``trace`` is the interprocedural witness path for whole-program
+    findings (SL06): the ordered source→sink hops, rendered under the
+    finding by the text reporter and serialized by the schema-2 JSON
+    reporter.  Per-file findings leave it empty.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    trace: tuple[TaintStep, ...] = ()
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -61,25 +71,45 @@ class _Pragma:
 
 
 class FilePragmas:
-    """Per-line suppression / ordering pragmas for one file."""
+    """Per-line suppression / ordering pragmas for one file.
+
+    Every successful suppression is recorded in ``used`` (indices into
+    ``raw``): SL08 reports any well-formed, justified pragma that never
+    suppressed anything as stale.  Callers must therefore only consult
+    :meth:`disabled` / :meth:`ordered` when a finding would otherwise be
+    emitted, never speculatively.
+    """
 
     def __init__(self, pragmas: Iterable[_Pragma]):
-        self._disable: dict[int, set[str]] = {}
-        self._ordered: set[int] = set()
+        self._disable: dict[int, list[tuple[int, frozenset[str]]]] = {}
+        self._ordered: dict[int, list[int]] = {}
         self.raw: list[_Pragma] = list(pragmas)
-        for p in self.raw:
+        self.used: set[int] = set()
+        for idx, p in enumerate(self.raw):
             if p.malformed or not p.justified:
                 continue  # unusable pragmas never suppress anything
             if p.kind == "disable":
-                self._disable.setdefault(p.line, set()).update(p.rules)
+                self._disable.setdefault(p.line, []).append(
+                    (idx, frozenset(p.rules)))
             elif p.kind == "ordered":
-                self._ordered.add(p.line)
+                self._ordered.setdefault(p.line, []).append(idx)
 
     def disabled(self, rule_id: str, lines: Iterable[int]) -> bool:
-        return any(rule_id in self._disable.get(ln, ()) for ln in lines)
+        hit = False
+        for ln in lines:
+            for idx, rules in self._disable.get(ln, ()):
+                if rule_id in rules:
+                    self.used.add(idx)
+                    hit = True
+        return hit
 
     def ordered(self, lines: Iterable[int]) -> bool:
-        return any(ln in self._ordered for ln in lines)
+        hit = False
+        for ln in lines:
+            for idx in self._ordered.get(ln, ()):
+                self.used.add(idx)
+                hit = True
+        return hit
 
 
 def _parse_pragmas(source: str) -> list[_Pragma]:
@@ -208,19 +238,30 @@ class Rule:
         """Hook called once per file before the walk (optional)."""
 
 
-def lint_source(path: str, source: str, config: LintConfig,
-                rules: Sequence[Rule]) -> list[Finding]:
-    """Lint one file's source text; returns sorted findings."""
+def _lint_file(path: str, source: str, config: LintConfig,
+               rules: Sequence[Rule],
+               credits: "set[tuple[str, str]] | None" = None,
+               ) -> tuple[list[Finding], ast.Module | None, FilePragmas | None]:
+    """Lint one file; returns (findings, tree, pragmas).
+
+    Rules run on every file *in scope*; allowlist entries are applied to
+    the resulting findings instead of skipping the file up front, so an
+    entry that suppresses something earns a credit in ``credits`` (the
+    signal SL08 uses to flag stale entries).
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         line = exc.lineno or 1
-        return [Finding(path, line, (exc.offset or 0) + 1, "SL00",
-                        f"file does not parse: {exc.msg}")]
+        return ([Finding(path, line, (exc.offset or 0) + 1, "SL00",
+                         f"file does not parse: {exc.msg}")], None, None)
+    except ValueError as exc:  # e.g. null bytes in the source text
+        return ([Finding(path, 1, 1, "SL00",
+                         f"file does not parse: {exc}")], None, None)
     pragmas = FilePragmas(_parse_pragmas(source))
     ctx = LintContext(path, source, tree, config, pragmas)
 
-    active = [r for r in rules if config.rule_applies(r.id, path)]
+    active = [r for r in rules if config.rule_in_scope(r.id, path)]
     dispatch: dict[type[ast.AST], list[object]] = {}
     for rule in active:
         rule.begin_file(ctx)
@@ -241,7 +282,80 @@ def lint_source(path: str, source: str, config: LintConfig,
             ctx.findings.append(Finding(
                 path, p.src_line, 1, "SL00",
                 "suppression lacks a justification: append `-- <reason>`"))
-    return sorted(ctx.findings, key=Finding.sort_key)
+
+    kept: list[Finding] = []
+    for f in ctx.findings:
+        entry = config.allow_entry_for(f.rule, f.path)
+        if entry is not None:
+            if credits is not None:
+                credits.add((f.rule, entry))
+            continue
+        kept.append(f)
+    return sorted(kept, key=Finding.sort_key), tree, pragmas
+
+
+def lint_source(path: str, source: str, config: LintConfig,
+                rules: Sequence[Rule]) -> list[Finding]:
+    """Lint one file's source text; returns sorted findings."""
+    findings, _tree, _pragmas = _lint_file(path, source, config, rules)
+    return findings
+
+
+class ProjectContext:
+    """Everything a whole-program rule needs about the lint run.
+
+    ``requested`` is the set of files the user asked to lint; the
+    program index may be wider (it always covers the configured default
+    paths so cross-module taint is complete even on partial runs), but
+    findings are only emitted for requested files.
+    """
+
+    def __init__(self, program: Program, config: LintConfig,
+                 trees: Mapping[str, ast.Module],
+                 pragmas: Mapping[str, FilePragmas],
+                 requested: "set[str]", full_run: bool,
+                 allow_credits: "set[tuple[str, str]]"):
+        self.program = program
+        self.config = config
+        self.trees = dict(trees)
+        self.pragmas = dict(pragmas)
+        self.requested = requested
+        self.full_run = full_run
+        self.allow_credits = allow_credits
+        self.findings: list[Finding] = []
+
+    def report(self, rule_id: str, path: str, line: int, col: int,
+               message: str, trace: tuple[TaintStep, ...] = (),
+               pragma_lines: "tuple[int, ...] | None" = None) -> None:
+        """Record a finding, honouring scope, allowlist, and pragmas."""
+        if path not in self.requested:
+            return
+        if not self.config.rule_in_scope(rule_id, path):
+            return
+        entry = self.config.allow_entry_for(rule_id, path)
+        if entry is not None:
+            self.allow_credits.add((rule_id, entry))
+            return
+        prag = self.pragmas.get(path)
+        if prag is not None and prag.disabled(rule_id, pragma_lines or (line,)):
+            return
+        self.findings.append(Finding(path, line, col, rule_id, message,
+                                     trace=trace))
+
+
+class ProjectRule:
+    """Base class for whole-program rules (SL06–SL09).
+
+    Unlike :class:`Rule`, a project rule sees the entire
+    :class:`~repro.lint.callgraph.Program` at once and reports through
+    :meth:`ProjectContext.report`.  Rules run in list order; SL08 must
+    run last because it audits the suppression usage the others record.
+    """
+
+    id: str = "SL??"
+
+    def check(self, ctx: ProjectContext) -> None:
+        raise NotImplementedError
 
 
 def iter_python_files(paths: Iterable[str]) -> list[Path]:
@@ -258,12 +372,50 @@ def iter_python_files(paths: Iterable[str]) -> list[Path]:
 
 
 def lint_paths(paths: Iterable[str], config: LintConfig,
-               rules: Sequence[Rule]) -> tuple[list[Finding], int]:
-    """Lint every ``*.py`` under ``paths``; returns (findings, files_checked)."""
+               rules: Sequence[Rule],
+               project_rules: Sequence[ProjectRule] = (),
+               full_run: bool = False) -> tuple[list[Finding], int]:
+    """Lint every ``*.py`` under ``paths``; returns (findings, files_checked).
+
+    When ``project_rules`` are given, a whole-program index is built
+    over the union of the requested files and the configured default
+    paths (so cross-module flows resolve even when linting a subset)
+    and each project rule runs once.  ``full_run`` additionally enables
+    the suppression-staleness audit (SL08), which is only meaningful
+    when every rule ran over the full configured file set.
+    """
     files = iter_python_files(paths)
     findings: list[Finding] = []
+    credits: set[tuple[str, str]] = set()
+    trees: dict[str, ast.Module] = {}
+    pragma_map: dict[str, FilePragmas] = {}
+    requested: set[str] = set()
     for f in files:
         rel = f.as_posix()
-        findings.extend(lint_source(rel, f.read_text(encoding="utf-8"),
-                                    config, rules))
+        requested.add(rel)
+        fnd, tree, pragmas = _lint_file(rel, f.read_text(encoding="utf-8"),
+                                        config, rules, credits)
+        findings.extend(fnd)
+        if tree is not None and pragmas is not None:
+            trees[rel] = tree
+            pragma_map[rel] = pragmas
+    if project_rules:
+        for extra in iter_python_files(config.paths):
+            rel = extra.as_posix()
+            if rel in requested or not extra.is_file():
+                continue
+            try:
+                tree = ast.parse(extra.read_text(encoding="utf-8"),
+                                 filename=rel)
+            except (SyntaxError, OSError):  # pragma: no cover - defensive
+                continue
+            trees[rel] = tree
+            pragma_map[rel] = FilePragmas(_parse_pragmas(
+                extra.read_text(encoding="utf-8")))
+        program = Program(sorted(trees.items()))
+        ctx = ProjectContext(program, config, trees, pragma_map,
+                             requested, full_run, credits)
+        for rule in project_rules:
+            rule.check(ctx)
+        findings.extend(ctx.findings)
     return sorted(findings, key=Finding.sort_key), len(files)

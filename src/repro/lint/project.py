@@ -1,0 +1,483 @@
+"""Whole-program simlint rules SL06–SL09 (the v2 layer).
+
+These rules run once per lint run over the
+:class:`~repro.lint.callgraph.Program` index rather than once per file:
+
+* **SL06** — interprocedural nondeterminism taint: delegates to the
+  fixed-point engine in :mod:`repro.lint.dataflow` and turns each
+  source→sink flow into a finding carrying the full witness path.
+* **SL07** — units flow: infers a unit (ms, s, bytes, kb, mb, blocks,
+  per_s) for names/attributes/call results from naming conventions and
+  flags assignments, comparisons, ``+``/``-`` arithmetic, and call
+  arguments that mix incompatible units.  Multiplication and division
+  count as explicit conversions and reset the unit.
+* **SL08** — stale suppressions: any well-formed, justified pragma that
+  suppressed nothing this run, and any ``[tool.simlint.allow]`` entry
+  that exempted nothing, is itself a finding.  Runs last (it audits the
+  usage the other rules record) and only on full runs.
+* **SL09** — cross-process mutation: module globals reachable from a
+  ``multiprocessing`` worker function that are mutated lexically after
+  the pool is created — workers snapshot state at an OS-dependent
+  instant, so such mutations break sharded-sweep byte-identity.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable
+
+from .callgraph import FunctionInfo, ModuleInfo, Program, module_name_for
+from .dataflow import TaintAnalysis
+from .engine import Finding, ProjectContext, ProjectRule
+from .taint import AMBIENT, ENVIRON, UNORDERED, WALLCLOCK
+
+__all__ = ["SL06", "SL07", "SL08", "SL09", "all_project_rules"]
+
+_LABEL_DESC = {
+    UNORDERED: "hash-order-dependent",
+    AMBIENT: "ambient-random",
+    WALLCLOCK: "wall-clock-derived",
+    ENVIRON: "environment-derived",
+}
+
+
+class SL06(ProjectRule):
+    """Interprocedural nondeterminism taint (see docs.RULE_DOCS)."""
+
+    id = "SL06"
+
+    def check(self, ctx: ProjectContext) -> None:
+        analysis = TaintAnalysis(ctx.program, ctx.config, ctx.pragmas)
+        for flow in analysis.run():
+            src = flow.trace[0] if flow.trace else None
+            origin = f"{src.path}:{src.line}" if src is not None else "unknown"
+            ctx.report(
+                "SL06", flow.path, flow.line, flow.col,
+                f"{_LABEL_DESC.get(flow.label, flow.label)} value "
+                f"(source {origin}) flows into {flow.sink}; "
+                f"source→sink path attached",
+                trace=flow.trace)
+
+
+class SL07(ProjectRule):
+    """Units-flow checking from naming conventions (see docs.RULE_DOCS)."""
+
+    id = "SL07"
+
+    def check(self, ctx: ProjectContext) -> None:
+        matchers = ctx.config.unit_matchers()
+        for path in sorted(ctx.requested):
+            tree = ctx.trees.get(path)
+            if tree is None or not ctx.config.rule_in_scope(self.id, path):
+                continue
+            mod = ctx.program.modules.get(module_name_for(path))
+            _UnitWalk(ctx, path, tree, mod, matchers).run()
+
+
+_CONVERTER_NAME_RE = re.compile(r"_(for|from|to)_")
+
+
+class _UnitWalk:
+    """One file's units-flow pass."""
+
+    def __init__(self, ctx: ProjectContext, path: str, tree: ast.Module,
+                 mod: ModuleInfo | None,
+                 matchers: "tuple[tuple[str, re.Pattern[str]], ...]"):
+        self.ctx = ctx
+        self.path = path
+        self.tree = tree
+        self.mod = mod
+        self.matchers = matchers
+        self._seen: set[tuple[int, int, str]] = set()
+
+    def run(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_pair(node, target, node.value, "assignment")
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._check_pair(node, node.target, node.value, "assignment")
+            elif isinstance(node, ast.AugAssign) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_pair(node, node.target, node.value, "augmented assignment")
+            elif isinstance(node, ast.BinOp) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                self._check_pair(node, node.left, node.right, "arithmetic")
+            elif isinstance(node, ast.Compare):
+                if not any(isinstance(op, (ast.In, ast.NotIn, ast.Is, ast.IsNot))
+                           for op in node.ops):
+                    left = node.left
+                    for comparator in node.comparators:
+                        self._check_pair(node, left, comparator, "comparison")
+                        left = comparator
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+
+    # -- unit inference -----------------------------------------------------
+    def unit_of(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return self.unit_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self.unit_name(expr.attr)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name is None:
+                return None
+            # `blocks_for_mb(...)` / `ms_from_s(...)` naming marks the
+            # call as a unit conversion: its result unit is whatever the
+            # callee documents, not the suffix the regexes would match.
+            if _CONVERTER_NAME_RE.search(name):
+                return None
+            return self.unit_name(name)
+        if isinstance(expr, ast.Subscript):
+            return self.unit_of(expr.value)
+        if isinstance(expr, ast.UnaryOp):
+            return self.unit_of(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, (ast.Add, ast.Sub)):
+                # mismatched operands are reported at the BinOp itself
+                return self.unit_of(expr.left) or self.unit_of(expr.right)
+            return None  # * / // % ** are explicit conversions
+        if isinstance(expr, ast.IfExp):
+            body, orelse = self.unit_of(expr.body), self.unit_of(expr.orelse)
+            return body if body == orelse else None
+        return None
+
+    def unit_name(self, ident: str) -> str | None:
+        for unit, rx in self.matchers:
+            if rx.search(ident):
+                return unit
+        return None
+
+    # -- checks -------------------------------------------------------------
+    def _check_pair(self, node: ast.AST, left: ast.expr, right: ast.expr,
+                    kind: str) -> None:
+        lu, ru = self.unit_of(left), self.unit_of(right)
+        if lu is None or ru is None or lu == ru:
+            return
+        self._report(node,
+                     f"{kind} mixes units: {_describe(left)} [{lu}] vs "
+                     f"{_describe(right)} [{ru}]; convert explicitly "
+                     f"(*/ factor) or rename")
+
+    def _check_call(self, call: ast.Call) -> None:
+        # Keyword arguments carry their unit in the keyword name itself.
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            ku, vu = self.unit_name(kw.arg), self.unit_of(kw.value)
+            if ku is not None and vu is not None and ku != vu:
+                self._report(call,
+                             f"argument {kw.arg}= [{ku}] receives "
+                             f"{_describe(kw.value)} [{vu}]; convert "
+                             f"explicitly or rename")
+        # Positional arguments need the resolved parameter name.
+        if self.mod is None:
+            return
+        targets = self.ctx.program.resolve_call(self.mod, call, None, None)
+        if len(targets) != 1:
+            return
+        target = targets[0]
+        for pos, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            idx = target.arg_param_index(call, pos=pos)
+            if idx is None:
+                continue
+            pu = self.unit_name(target.params[idx])
+            au = self.unit_of(arg)
+            if pu is not None and au is not None and pu != au:
+                self._report(call,
+                             f"parameter {target.params[idx]} [{pu}] of "
+                             f"{target.name}() receives {_describe(arg)} "
+                             f"[{au}]; convert explicitly or rename")
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        key = (line, col, message)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        first = line
+        last = getattr(node, "end_lineno", None) or first
+        self.ctx.report("SL07", self.path, line, col, message,
+                        pragma_lines=(first, last) if last != first else (first,))
+
+
+def _describe(expr: ast.expr) -> str:
+    try:
+        text = ast.unparse(expr)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+class SL08(ProjectRule):
+    """Stale suppressions (see docs.RULE_DOCS).  Must run last."""
+
+    id = "SL08"
+
+    def check(self, ctx: ProjectContext) -> None:
+        if not ctx.full_run:
+            return  # partial runs cannot prove a suppression dead
+        for path in sorted(ctx.pragmas):
+            if path not in ctx.requested \
+                    or not ctx.config.rule_in_scope(self.id, path):
+                continue
+            prag = ctx.pragmas[path]
+            for idx, p in enumerate(prag.raw):
+                if p.malformed or not p.justified or idx in prag.used:
+                    continue
+                what = (f"disable={','.join(p.rules)}" if p.kind == "disable"
+                        else p.kind)
+                ctx.findings.append(Finding(
+                    path, p.src_line, 1, self.id,
+                    f"stale suppression: `# simlint: {what}` no longer "
+                    f"suppresses any finding — remove it"))
+        for rule_id in sorted(ctx.config.allow_paths):
+            for prefix in ctx.config.allow_paths[rule_id]:
+                if (rule_id, prefix) not in ctx.allow_credits:
+                    ctx.findings.append(Finding(
+                        "pyproject.toml", 1, 1, self.id,
+                        f"stale allow entry: [tool.simlint.allow] {rule_id} "
+                        f'lists "{prefix}" but it suppresses nothing — '
+                        f"remove it"))
+
+
+# -- SL09 ---------------------------------------------------------------------
+
+_POOL_NAME_RE = re.compile(r"pool", re.IGNORECASE)
+_SUBMIT_METHODS = frozenset({
+    "map", "map_async", "imap", "imap_unordered",
+    "apply", "apply_async", "starmap", "starmap_async",
+})
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+})
+
+
+class SL09(ProjectRule):
+    """Cross-process mutation after pool creation (see docs.RULE_DOCS)."""
+
+    id = "SL09"
+
+    def check(self, ctx: ProjectContext) -> None:
+        for path in sorted(ctx.trees):
+            if path not in ctx.requested \
+                    or not ctx.config.rule_in_scope(self.id, path):
+                continue
+            mod = ctx.program.modules.get(module_name_for(path))
+            if mod is None:
+                continue
+            for fn in ctx.program.iter_functions(mod):
+                self._check_function(ctx, mod, fn)
+
+    def _check_function(self, ctx: ProjectContext, mod: ModuleInfo,
+                        fn: FunctionInfo) -> None:
+        pools = _pool_bindings(fn.node)
+        if not pools:
+            return
+        submissions = _submissions(ctx.program, mod, fn, set(pools))
+        if not submissions:
+            return
+        shared: set[tuple[str, str]] = set()
+        workers: dict[tuple[str, str], str] = {}
+        for worker in submissions:
+            for key in _reachable_globals(ctx.program, worker):
+                shared.add(key)
+                workers.setdefault(key, worker.name)
+        if not shared:
+            return
+        creation_line = min(pools.values())
+        fn_locals = _local_names(fn.node) | set(fn.params)
+        for node in ast.walk(fn.node):
+            key = _mutation_target(mod, node, skip=fn_locals)
+            if key is None or key not in shared:
+                continue
+            line = getattr(node, "lineno", 0)
+            if line <= creation_line:
+                continue
+            first = line
+            last = getattr(node, "end_lineno", None) or first
+            ctx.report(
+                self.id, mod.path, line,
+                getattr(node, "col_offset", 0) + 1,
+                f"{key[1]} is reachable from worker {workers[key]}() but "
+                f"mutated after the pool is created (line {creation_line}); "
+                f"workers snapshot state at an OS-dependent instant",
+                pragma_lines=(first, last) if last != first else (first,))
+
+
+def _pool_bindings(fn_node: ast.AST) -> dict[str, int]:
+    """Local names bound to a pool, with the creation line."""
+    pools: dict[str, int] = {}
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _is_pool_call(item.context_expr) \
+                        and isinstance(item.optional_vars, ast.Name):
+                    pools.setdefault(item.optional_vars.id, node.lineno)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _is_pool_call(node.value):
+            pools.setdefault(node.targets[0].id, node.lineno)
+    return pools
+
+
+def _is_pool_call(expr: ast.expr) -> bool:
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None)
+    return name is not None and _POOL_NAME_RE.search(name) is not None
+
+
+def _submissions(program: Program, mod: ModuleInfo, fn: FunctionInfo,
+                 pool_names: "set[str]") -> list[FunctionInfo]:
+    """Worker functions handed to ``pool.map``-style submission calls."""
+    out: list[FunctionInfo] = []
+    for node in ast.walk(fn.node):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pool_names
+                and node.func.attr in _SUBMIT_METHODS
+                and node.args):
+            continue
+        worker = program.function_ref(mod, node.args[0])
+        if worker is not None:
+            out.append(worker)
+    return out
+
+
+def _module_global_names(tree: ast.Module) -> "set[str]":
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)) \
+                and isinstance(stmt.target, ast.Name):
+            names.add(stmt.target.id)
+    return names
+
+
+def _local_names(fn_node: ast.AST) -> "set[str]":
+    names: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.difference_update(node.names)
+    return names
+
+
+def _global_key(program: Program, mod: ModuleInfo,
+                name: str) -> "tuple[str, str] | None":
+    """Resolve a name to (module, global) if it denotes module state."""
+    if name in _module_global_names(mod.tree):
+        return (mod.name, name)
+    origin = mod.from_imports.get(name)
+    if origin:
+        owner, _, gname = origin.rpartition(".")
+        owner_mod = program.modules.get(owner)
+        if owner_mod is not None and gname in _module_global_names(owner_mod.tree):
+            return (owner, gname)
+    return None
+
+
+def _reachable_globals(program: Program, worker: FunctionInfo,
+                       max_depth: int = 3) -> "set[tuple[str, str]]":
+    """Module globals a worker (or its program-local callees) reads."""
+    out: set[tuple[str, str]] = set()
+    seen: set[str] = set()
+    stack: list[tuple[FunctionInfo, int]] = [(worker, 0)]
+    while stack:
+        fn, depth = stack.pop()
+        if fn.qualname in seen:
+            continue
+        seen.add(fn.qualname)
+        mod = program.modules.get(fn.module)
+        if mod is None:
+            continue
+        locals_ = _local_names(fn.node) | set(fn.params)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                    and node.id not in locals_:
+                key = _global_key(program, mod, node.id)
+                if key is not None:
+                    out.add(key)
+            elif isinstance(node, ast.Call) and depth < max_depth:
+                for target in program.resolve_call(mod, node, None, fn):
+                    stack.append((target, depth + 1))
+    return out
+
+
+def _mutation_target(mod: ModuleInfo, node: ast.AST,
+                     skip: "set[str] | None" = None,
+                     ) -> "tuple[str, str] | None":
+    """The (module, global) this statement mutates, if any.
+
+    Covers ``g.attr = ...`` / ``g[...] = ...`` stores, ``g += ...`` on a
+    declared global, and mutating method calls like ``g.update(...)``.
+    Names in ``skip`` are locals shadowing the global and never match.
+    """
+    def base_name(expr: ast.expr) -> str | None:
+        while isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    candidates: list[str] = []
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                name = base_name(target)
+                if name:
+                    candidates.append(name)
+    elif isinstance(node, ast.AugAssign):
+        name = base_name(node.target) if isinstance(
+            node.target, (ast.Attribute, ast.Subscript)) else None
+        if name:
+            candidates.append(name)
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _MUTATING_METHODS:
+        name = base_name(node.func.value)
+        if name:
+            candidates.append(name)
+    for name in candidates:
+        # Only module-level state counts; locals shadow it.
+        if skip is not None and name in skip:
+            continue
+        from_mod = _global_key_cached(mod, name)
+        if from_mod is not None:
+            return from_mod
+    return None
+
+
+_GLOBAL_NAME_CACHE: dict[int, "set[str]"] = {}
+
+
+def _global_key_cached(mod: ModuleInfo, name: str) -> "tuple[str, str] | None":
+    names = _GLOBAL_NAME_CACHE.get(id(mod.tree))
+    if names is None:
+        names = _module_global_names(mod.tree)
+        _GLOBAL_NAME_CACHE[id(mod.tree)] = names
+    if name in names:
+        return (mod.name, name)
+    origin = mod.from_imports.get(name)
+    if origin:
+        owner, _, gname = origin.rpartition(".")
+        return (owner, gname)
+    return None
+
+
+def all_project_rules() -> "tuple[ProjectRule, ...]":
+    """Fresh instances of every whole-program rule; SL08 stays last."""
+    return (SL06(), SL07(), SL09(), SL08())

@@ -312,14 +312,17 @@ class SL05(Rule):
 
 
 def all_rules() -> tuple[Rule, ...]:
-    """Fresh instances of every registered rule, in id order."""
+    """Fresh instances of every registered per-file rule, in id order."""
     return (SL01(), SL02(), SL03(), SL04(), SL05())
 
 
 def rule_catalog() -> Iterable[tuple[str, str]]:
-    """(id, rationale) pairs for ``--list-rules`` and the docs."""
-    yield ("SL00", "suppression hygiene: every `# simlint:` pragma must be "
-                   "well-formed and carry a `-- reason` justification")
-    for rule in all_rules():
-        doc = (type(rule).__doc__ or "").strip()
-        yield (rule.id, doc)
+    """(id, summary) pairs for ``--list-rules`` and the docs.
+
+    Sourced from the shared rule-doc table (:mod:`repro.lint.docs`) so
+    the CLI, DESIGN.md, and ``--explain`` cannot drift apart; covers the
+    per-file rules (SL00–SL05) and the whole-program rules (SL06–SL09).
+    """
+    from .docs import RULE_DOCS
+    for doc in RULE_DOCS:
+        yield (doc.id, f"{doc.title}\n{doc.rationale}")

@@ -1,0 +1,190 @@
+"""The simlint v2 taint lattice (DESIGN.md §16, SL06).
+
+Whole-program determinism checking reduces to propagating a small set of
+*taint labels* through the program and asking whether any labelled value
+reaches simulation state, trace output, or a BENCH record:
+
+* ``UNORDERED`` — the value's *ordering* came from set iteration (hash
+  order, randomized per process for ``str`` keys).  ``sorted()``
+  cleanses it; order-insensitive consumers (``len``, ``min``, ``max``,
+  membership) never pick it up.
+* ``AMBIENT`` — the value draws on process-global randomness (bare
+  ``random.*``, module-level ``numpy.random`` functions, an unseeded
+  ``default_rng()``).  Seeding through :mod:`repro.sim.rng` cleanses by
+  construction: streams are pure functions of ``(seed, key)``.
+* ``WALLCLOCK`` — the value read the host clock (``time.time`` and
+  friends, ``datetime.now``).
+* ``ENVIRON`` — the value came out of ``os.environ`` / ``os.getenv``
+  under a key outside the sanctioned ``REPRO_*`` runner-knob namespace.
+
+The lattice is the powerset of these labels ordered by inclusion; the
+join is set union, so any fixed-point iteration terminates.  Each label
+additionally carries a *witness path* — the chain of source locations
+the taint travelled — used verbatim in SL06 reports.  Witness paths are
+first-wins (a join never replaces an existing label's path), which keeps
+the whole abstract value monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "UNORDERED", "AMBIENT", "WALLCLOCK", "ENVIRON", "ALL_LABELS",
+    "TaintStep", "Taint", "TaintValue", "EMPTY", "CLEAN",
+]
+
+UNORDERED = "UNORDERED"
+AMBIENT = "AMBIENT"
+WALLCLOCK = "WALLCLOCK"
+ENVIRON = "ENVIRON"
+ALL_LABELS = (UNORDERED, AMBIENT, WALLCLOCK, ENVIRON)
+
+#: Witness paths are capped so pathological call chains cannot blow up
+#: report size; the cap loses intermediate hops, never the source.
+_MAX_STEPS = 16
+
+
+@dataclass(frozen=True)
+class TaintStep:
+    """One hop of a taint witness path."""
+
+    path: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.note}"
+
+
+class Taint:
+    """An immutable map ``label -> witness path`` (empty = untainted)."""
+
+    __slots__ = ("_paths",)
+
+    def __init__(self, paths: Mapping[str, tuple[TaintStep, ...]] | None = None):
+        self._paths: dict[str, tuple[TaintStep, ...]] = dict(paths or {})
+
+    @classmethod
+    def source(cls, label: str, step: TaintStep) -> "Taint":
+        return cls({label: (step,)})
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return frozenset(self._paths)
+
+    def __bool__(self) -> bool:
+        return bool(self._paths)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Taint) and self._paths == other._paths
+
+    def __hash__(self) -> int:  # pragma: no cover - defensive
+        return hash(frozenset(self._paths))
+
+    def __repr__(self) -> str:
+        return f"Taint({sorted(self._paths)})"
+
+    def path(self, label: str) -> tuple[TaintStep, ...]:
+        return self._paths.get(label, ())
+
+    def join(self, other: "Taint") -> "Taint":
+        """Lattice join; existing labels keep their (first) witness path."""
+        if not other:
+            return self
+        if not self:
+            return other
+        merged = dict(other._paths)
+        merged.update(self._paths)  # self's witnesses win on overlap
+        return Taint(merged)
+
+    def with_step(self, step: TaintStep) -> "Taint":
+        """Append one witness hop to every label's path (capped)."""
+        if not self._paths:
+            return self
+        out: dict[str, tuple[TaintStep, ...]] = {}
+        for label, steps in self._paths.items():
+            if len(steps) >= _MAX_STEPS or (steps and steps[-1] == step):
+                out[label] = steps
+            else:
+                out[label] = steps + (step,)
+        return Taint(out)
+
+    def without(self, labels: Iterable[str]) -> "Taint":
+        """Drop the given labels (e.g. ``sorted()`` cleanses UNORDERED)."""
+        drop = set(labels)
+        kept = {lb: p for lb, p in self._paths.items() if lb not in drop}
+        if len(kept) == len(self._paths):
+            return self
+        return Taint(kept)
+
+    def only(self, labels: Iterable[str]) -> "Taint":
+        keep = set(labels)
+        return Taint({lb: p for lb, p in self._paths.items() if lb in keep})
+
+
+EMPTY = Taint()
+
+
+class TaintValue:
+    """The abstract value the dataflow engine propagates.
+
+    ``taint`` is the concrete taint acquired so far; ``param_deps`` maps
+    indices of the enclosing function's parameters whose taint (as seen
+    at a call site) also flows into this value to the witness hops taken
+    since the parameter entered.  The pair is what makes function
+    summaries compositional: a summary records the generated taint and
+    the parameter dependencies, and call sites substitute actuals.
+    """
+
+    __slots__ = ("taint", "param_deps")
+
+    def __init__(self, taint: Taint = EMPTY,
+                 param_deps: Mapping[int, tuple[TaintStep, ...]] | None = None):
+        self.taint = taint
+        self.param_deps: dict[int, tuple[TaintStep, ...]] = dict(param_deps or {})
+
+    @classmethod
+    def param(cls, index: int) -> "TaintValue":
+        return cls(EMPTY, {index: ()})
+
+    def join(self, other: "TaintValue") -> "TaintValue":
+        if not other:
+            return self
+        if not self:
+            return other
+        deps = dict(other.param_deps)
+        deps.update(self.param_deps)  # self's witnesses win on overlap
+        return TaintValue(self.taint.join(other.taint), deps)
+
+    def with_step(self, step: TaintStep) -> "TaintValue":
+        if not self:
+            return self
+        deps = {}
+        for idx, steps in self.param_deps.items():
+            if len(steps) >= _MAX_STEPS or (steps and steps[-1] == step):
+                deps[idx] = steps
+            else:
+                deps[idx] = steps + (step,)
+        return TaintValue(self.taint.with_step(step), deps)
+
+    def without(self, labels: Iterable[str]) -> "TaintValue":
+        # Dropping a label is label-specific; parameter dependencies are
+        # label-agnostic, so a cleanser that drops only some labels must
+        # conservatively keep the dependency set.
+        return TaintValue(self.taint.without(labels), self.param_deps)
+
+    def __bool__(self) -> bool:
+        return bool(self.taint) or bool(self.param_deps)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, TaintValue)
+                and self.taint == other.taint
+                and self.param_deps == other.param_deps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TaintValue({self.taint!r}, deps={sorted(self.param_deps)})"
+
+
+CLEAN = TaintValue()

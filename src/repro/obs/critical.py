@@ -108,6 +108,8 @@ def _phase_segments(p: SpanNode, out: list[CriticalSegment]) -> None:
     attrs = p.attrs
     name = attrs.get("p", "other")
     s, e = p.start, p.end
+    if e is None:  # unfinished phase: nothing bounded the response
+        return
     dur = p.dur or 0.0
     if name in ("cpu", "nic", "bus"):
         q = min(max(attrs.get("q", 0.0), 0.0), dur)
@@ -145,22 +147,28 @@ def _fetch_segments(p: SpanNode, out: list[CriticalSegment]) -> None:
     the fan-out contained (coalesce / peer / disk queue).
     """
     parent = p.parent
+    p_end = p.end
+    if p_end is None:  # unfinished fetch: no bounded wait to explain
+        return
     candidates = [
         c for c in (parent.children if parent is not None else [])
         if c is not p and _contains(p, c) and (c.dur or 0.0) > 0.0
     ]
-    frontier = p.end
+    frontier = p_end
     chosen: list[SpanNode] = []
-    used: set = set()
+    used: set[int] = set()
     while True:
-        best = None
+        best: SpanNode | None = None
+        best_key: tuple[float, float, int] | None = None
         for c in candidates:
-            if c.span_id in used or c.end > frontier + _EPS:
+            c_end, c_dur = c.end, c.dur
+            if c_end is None or c_dur is None:
+                continue  # filtered above; narrows for the comparisons
+            if c.span_id in used or c_end > frontier + _EPS:
                 continue
-            if best is None or (c.end, c.dur, c.span_id) > (
-                best.end, best.dur, best.span_id
-            ):
-                best = c
+            key = (c_end, c_dur, c.span_id)
+            if best_key is None or key > best_key:
+                best, best_key = c, key
         if best is None:
             break
         used.add(best.span_id)
@@ -180,7 +188,8 @@ def _fetch_segments(p: SpanNode, out: list[CriticalSegment]) -> None:
         bucket = "peer.wait"
     else:
         bucket = "disk.queue"
-    _fill_gaps(p.start, p.end, [(c.start, c.end) for c in chosen],
+    _fill_gaps(p.start, p_end,
+               [(c.start, c.end) for c in chosen if c.end is not None],
                bucket, p, out)
 
 
@@ -202,9 +211,10 @@ def _span_segments(span: SpanNode, out: list[CriticalSegment]) -> None:
             _phase_segments(child, out)
         else:
             _span_segments(child, out)
-    if span.dur is not None:
-        _fill_gaps(span.start, span.end,
-                   [(c.start, c.end) for c in segments],
+    span_end = span.end
+    if span_end is not None:
+        _fill_gaps(span.start, span_end,
+                   [(c.start, c.end) for c in segments if c.end is not None],
                    "other", span, out)
 
 
